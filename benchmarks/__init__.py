@@ -1,0 +1,1 @@
+"""Benchmark harness: one benchmark per paper table/figure."""

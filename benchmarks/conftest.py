@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the reproduced rows (the same rows/series the paper reports) so a run of
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction log.
+Durations are scaled-down versions of the paper's tests; EXPERIMENTS.md
+records the scaling and the paper-vs-measured comparison.
+"""
+
+import pytest
+
+
+def print_rows(title: str, result) -> None:
+    """Uniform reproduction-log output for a figure's rows."""
+    print(f"\n=== {title} ===")
+    for row in result.rows():
+        print("   ", *row)
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """One shared medium campaign for the distribution figures."""
+    from repro.experiments.common import campaign_dataset
+
+    return campaign_dataset("medium", 0)

@@ -1,0 +1,107 @@
+"""Ablations for the transport-level calls-to-action in the paper.
+
+* Congestion control on the Starlink channel: the paper's Section 1 calls
+  for "better congestion control or FEC algorithms tailored for such
+  characteristics" — this bench compares CUBIC and Reno on the same
+  Starlink trace so future algorithms have a baseline pair.
+* Dish-plan decomposition: which of Mobility's three advantages (field of
+  view, tracking agility, network priority) buys the Roam->Mobility gap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import collect_conditions
+from repro.geo.classify import AreaType
+from repro.geo.coords import GeoPoint
+from repro.geo.places import PlaceDatabase
+from repro.leo.channel import StarlinkChannel
+from repro.leo.dish import DishModel, DishPlan, mobility_dish, roam_dish
+from repro.rng import RngStreams
+from repro.tools.iperf import run_tcp_test
+
+DURATION_S = 60
+SEGMENT_BYTES = 6000
+
+
+def test_ablation_congestion_control(benchmark):
+    traces = collect_conditions(duration_s=DURATION_S, seed=3)
+
+    def run_both():
+        return {
+            cc: run_tcp_test(
+                traces["MOB"],
+                duration_s=float(DURATION_S),
+                congestion=cc,
+                segment_bytes=SEGMENT_BYTES,
+                seed=3,
+            ).throughput_mbps
+            for cc in ("cubic", "reno")
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print("\n=== Ablation: congestion control on the Starlink channel ===")
+    for cc, mbps in results.items():
+        print(f"    {cc:<6} {mbps:6.1f} Mbps")
+    assert all(v > 0 for v in results.values())
+
+
+def _dish_throughput(dish: DishModel, seed: int = 3) -> float:
+    """Mean fluid UDP downlink over a fixed suburban drive segment."""
+    rng = RngStreams(seed)
+    places = PlaceDatabase.synthetic(rng)
+    channel = StarlinkChannel(dish, places=places, rng=rng)
+    position = GeoPoint(44.5, -92.0)
+    values = []
+    for t in range(600):
+        sample = channel.sample(float(t), position, 90.0, AreaType.SUBURBAN)
+        values.append(sample.downlink_mbps * (1.0 - sample.loss_rate))
+    return float(np.mean(values))
+
+
+def test_ablation_dish_decomposition(benchmark):
+    """Upgrade Roam toward Mobility one mechanism at a time."""
+    rm, mob = roam_dish(), mobility_dish()
+    variants = {
+        "roam": rm,
+        "+fov": DishModel(
+            plan=DishPlan.ROAM,
+            min_elevation_deg=mob.min_elevation_deg,
+            peak_downlink_mbps=rm.peak_downlink_mbps,
+            peak_uplink_mbps=rm.peak_uplink_mbps,
+            motion_tracking_factor=rm.motion_tracking_factor,
+            priority_weight=rm.priority_weight,
+            motion_loss_extra=rm.motion_loss_extra,
+        ),
+        "+tracking": DishModel(
+            plan=DishPlan.ROAM,
+            min_elevation_deg=mob.min_elevation_deg,
+            peak_downlink_mbps=rm.peak_downlink_mbps,
+            peak_uplink_mbps=rm.peak_uplink_mbps,
+            motion_tracking_factor=mob.motion_tracking_factor,
+            priority_weight=rm.priority_weight,
+            motion_loss_extra=mob.motion_loss_extra,
+        ),
+        "+priority": DishModel(
+            plan=DishPlan.ROAM,
+            min_elevation_deg=mob.min_elevation_deg,
+            peak_downlink_mbps=rm.peak_downlink_mbps,
+            peak_uplink_mbps=rm.peak_uplink_mbps,
+            motion_tracking_factor=mob.motion_tracking_factor,
+            priority_weight=mob.priority_weight,
+            motion_loss_extra=mob.motion_loss_extra,
+        ),
+        "mobility": mob,
+    }
+
+    def run_all():
+        return {name: _dish_throughput(dish) for name, dish in variants.items()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print("\n=== Ablation: Roam -> Mobility mechanism decomposition ===")
+    for name, mbps in results.items():
+        print(f"    {name:<10} {mbps:6.1f} Mbps")
+    # Each cumulative upgrade should not hurt, and the full Mobility dish
+    # (with its larger phased array / peak rate) tops the list.
+    assert results["mobility"] > results["roam"]
+    assert results["+priority"] >= results["+fov"] * 0.9

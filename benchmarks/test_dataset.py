@@ -1,0 +1,46 @@
+"""Section 3.3 benchmark: the campaign dataset totals.
+
+Paper: 1,239 network tests, 9,083 minutes of traces, >3,800 km, area mix
+29.78 / 34.30 / 35.91 % (urban / suburban / rural).  The paper-scale
+campaign is heavy (~full drive simulation), so this bench reports the
+medium scale by default and checks proportions, not absolute totals;
+run ``fig_dataset_paper_scale`` below for the full-scale totals.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.experiments import dataset_summary
+from repro.geo.classify import AreaType
+
+
+def test_dataset_summary(benchmark, medium_dataset):
+    result = benchmark.pedantic(
+        dataset_summary.run,
+        kwargs=dict(scale="medium", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Section 3.3: campaign totals (medium scale)", result)
+    assert result.num_tests > 100
+    assert result.distance_km > 50.0
+    shares = result.area_proportions
+    assert sum(shares.values()) == pytest.approx(1.0)
+    # Every area type is substantially represented, like the paper's
+    # 30/34/36 split.
+    for area in AreaType:
+        assert 0.10 <= shares[area] <= 0.60, (area, shares[area])
+
+
+@pytest.mark.slow
+def test_dataset_paper_scale(benchmark):
+    """Full-scale totals (several minutes); run explicitly with -m slow."""
+    result = benchmark.pedantic(
+        dataset_summary.run,
+        kwargs=dict(scale="paper", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Section 3.3: campaign totals (paper scale)", result)
+    assert result.num_tests > 800
+    assert result.distance_km > 2500.0

@@ -1,0 +1,44 @@
+"""Extension benches: the paper's future-work items, quantified.
+
+* ``ext-fec`` — FEC recovers most of the Starlink TCP-vs-UDP gap at
+  single-digit overhead (Section 1's call to action).
+* ``ext-scheduler`` — a LEO-reconfiguration-aware MPTCP scheduler vs the
+  stock schedulers (Section 6's future work).
+"""
+
+from benchmarks.conftest import print_rows
+from repro.experiments import ext_fec, ext_scheduler
+
+
+def test_ext_fec(benchmark):
+    result = benchmark.pedantic(
+        ext_fec.run,
+        kwargs=dict(duration_s=60, seed=3, segment_bytes=6000),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        "Extension: transport, goodput Mbps, overhead, block-loss", result
+    )
+    udp = result.row("UDP (ceiling)").goodput_mbps
+    tcp = result.row("TCP (baseline)").goodput_mbps
+    fec = result.row("FEC k=20 r=4").goodput_mbps
+    print(f"    FEC recovers {(fec - tcp) / max(udp - tcp, 1e-9):.0%} of the TCP-UDP gap")
+    assert fec > tcp  # FEC beats collapsed TCP
+    assert fec <= udp * 1.02  # cannot exceed the ceiling
+
+
+def test_ext_scheduler(benchmark):
+    result = benchmark.pedantic(
+        ext_scheduler.run,
+        kwargs=dict(duration_s=90, seed=11, segment_bytes=6000),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        "Extension: scheduler, goodput Mbps, fluctuation (cv)", result
+    )
+    sataware = result.row("sataware")
+    blest = result.row("blest")
+    # The LEO-aware scheduler must be throughput-competitive...
+    assert sataware.goodput_mbps > 0.85 * blest.goodput_mbps

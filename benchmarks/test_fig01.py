@@ -1,0 +1,21 @@
+"""Figure 1 benchmark: five-network download throughput timeline."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments import fig01_motivation
+
+
+def test_fig01_motivation(benchmark):
+    result = benchmark.pedantic(
+        fig01_motivation.run,
+        kwargs=dict(duration_s=1200, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Figure 1: per-network mean/median Mbps + lead share", result)
+    print(
+        f"    starlink-wins fraction: {result.starlink_wins_fraction:.2f}, "
+        f"lead changes: {result.lead_changes}"
+    )
+    # Motivation shape: alternating winners over the drive.
+    assert 0.05 < result.starlink_wins_fraction < 0.95
+    assert result.lead_changes > 10

@@ -1,0 +1,23 @@
+"""Figure 3 benchmark: throughput CDFs (TCP/UDP, RM/MOB, UL/DL)."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments import fig03_throughput
+
+
+def test_fig03_throughput(benchmark, medium_dataset):
+    result = benchmark.pedantic(
+        fig03_throughput.run,
+        kwargs=dict(scale="medium", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Figure 3: panel, curve, mean, median (Mbps)", result)
+    print(
+        f"    MOB TCP/UDP gap: {result.tcp_udp_gap:.2f} (paper ~0.23 = 29/128)\n"
+        f"    MOB/RM: {result.mobility_over_roam:.2f}x (paper ~2x)\n"
+        f"    DL/UL: {result.downlink_over_uplink:.1f}x (paper ~10x)"
+    )
+    # Paper shapes.
+    assert result.tcp_udp_gap < 0.45  # Starlink TCP collapses
+    assert 1.4 <= result.mobility_over_roam <= 3.5  # MOB ~2x RM
+    assert 7.0 <= result.downlink_over_uplink <= 13.0  # FDD ~10x

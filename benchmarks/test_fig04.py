@@ -1,0 +1,25 @@
+"""Figure 4 + Equation 1 benchmark: UDP-Ping latency CDFs."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments import fig04_latency
+
+
+def test_fig04_latency(benchmark, medium_dataset):
+    result = benchmark.pedantic(
+        fig04_latency.run,
+        kwargs=dict(scale="medium", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        "Figure 4: network, median RTT, mean RTT, share in 50-100 ms", result
+    )
+    # Equation 1 exactly.
+    assert abs(result.equation1_ms - 1.835) < 0.01
+    # Carrier ordering: ATT highest; VZ/TM lowest; Starlink in between-ish.
+    assert result.median("ATT") > result.median("TM")
+    assert result.median("ATT") > result.median("VZ")
+    assert result.median("MOB") >= result.median("VZ")
+    # All networks in the paper's tens-of-ms band.
+    for curve in result.curves:
+        assert 35.0 <= curve.stats.median <= 110.0

@@ -1,0 +1,22 @@
+"""Figure 5 benchmark: TCP retransmission rates (packet-level runs)."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments import fig05_loss
+
+
+def test_fig05_loss(benchmark):
+    result = benchmark.pedantic(
+        fig05_loss.run,
+        kwargs=dict(duration_s=60, seed=3, segment_bytes=6000),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Figure 5: network, direction, retransmission rate", result)
+    print(
+        f"    starlink mean {result.starlink_mean:.4f} "
+        f"(paper 0.003-0.013), cellular mean {result.cellular_mean:.4f}"
+    )
+    # Starlink loss dominates cellular loss in both directions.
+    assert result.starlink_mean > 2.0 * result.cellular_mean
+    # Starlink retransmission in (or near) the paper's 0.3-1.3 % band.
+    assert 0.002 <= result.starlink_mean <= 0.05

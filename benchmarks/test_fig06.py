@@ -1,0 +1,24 @@
+"""Figure 6 benchmark: throughput vs vehicle speed (rural samples)."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments import fig06_speed
+
+
+def test_fig06_speed(benchmark, medium_dataset):
+    result = benchmark.pedantic(
+        fig06_speed.run,
+        kwargs=dict(scale="medium", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        "Figure 6: speed bucket, MOB mean Mbps, cellular mean Mbps", result
+    )
+    print(
+        f"    variation coefficients — starlink "
+        f"{result.starlink.variation_coefficient:.2f}, cellular "
+        f"{result.cellular.variation_coefficient:.2f} (paper: ~flat)"
+    )
+    # The paper's finding: throughput is essentially flat across speeds.
+    assert result.starlink.variation_coefficient < 0.45
+    assert result.cellular.variation_coefficient < 0.45

@@ -1,0 +1,25 @@
+"""Figure 7 benchmark: TCP parallelism gains (1/4/8 connections)."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments import fig07_parallelism
+
+
+def test_fig07_parallelism(benchmark):
+    result = benchmark.pedantic(
+        fig07_parallelism.run,
+        kwargs=dict(
+            duration_s=60, seed=3, segment_bytes=6000, repeats=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        "Figure 7: network, N connections, Mbps, improvement % over 1P",
+        result,
+    )
+    rm = result.row("RM")
+    vz = result.row("VZ")
+    # Paper: Starlink gains >50 % at 4P and >130 % at 8P; cellular far less.
+    assert rm.improvement(4) > 10.0
+    assert rm.improvement(8) > 25.0
+    assert rm.improvement(8) > vz.improvement(8)

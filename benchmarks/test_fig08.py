@@ -1,0 +1,31 @@
+"""Figure 8 benchmark: UDP downlink throughput by area type."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments import fig08_area
+from repro.geo.classify import AreaType
+
+
+def test_fig08_area(benchmark, medium_dataset):
+    result = benchmark.pedantic(
+        fig08_area.run,
+        kwargs=dict(scale="medium", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        "Figure 8: group, area, median, mean, p75 (Mbps)", result
+    )
+    # The crossover: cellular falls urban->rural, Starlink rises.
+    assert result.median("Cellular", AreaType.URBAN) > result.median(
+        "Cellular", AreaType.RURAL
+    )
+    assert result.median("MOB", AreaType.RURAL) > result.median(
+        "MOB", AreaType.URBAN
+    )
+    # Starlink beats cellular outside cities (Section 5.1).
+    assert result.median("MOB", AreaType.SUBURBAN) > result.median(
+        "Cellular", AreaType.SUBURBAN
+    )
+    assert result.median("MOB", AreaType.RURAL) > result.median(
+        "Cellular", AreaType.RURAL
+    )

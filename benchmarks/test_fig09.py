@@ -1,0 +1,35 @@
+"""Figure 9 benchmark: performance-coverage shares + combinations."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments import fig09_coverage
+
+
+def test_fig09_coverage(benchmark, medium_dataset):
+    result = benchmark.pedantic(
+        fig09_coverage.run,
+        kwargs=dict(scale="medium", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        "Figure 9: network, <20, 20-50, 50-100, >100 Mbps shares", result
+    )
+    bars = {b.name: b for b in result.bars}
+    print(
+        f"    MOB high {bars['MOB'].high:.2f} (paper 0.6061); "
+        f"VZ {bars['VZ'].high:.2f} (0.4439); TM {bars['TM'].high:.2f} (0.4247); "
+        f"RM low-or-worse {bars['RM'].low_or_worse:.2f} (0.3988); "
+        f"ATT low-or-worse {bars['ATT'].low_or_worse:.2f} (0.5345)"
+    )
+    # Paper's ordering and combination effects.
+    assert bars["MOB"].high == max(
+        bars[n].high for n in ("ATT", "TM", "VZ", "RM", "MOB")
+    )
+    assert bars["ATT"].high == min(bars[n].high for n in ("ATT", "TM", "VZ"))
+    assert bars["BestCL"].high >= max(bars[n].high for n in ("ATT", "TM", "VZ"))
+    assert bars["RM+CL"].high > bars["RM"].high
+    assert bars["MOB+CL"].high > bars["MOB"].high
+    # Headline magnitudes within a loose band of the paper's values.
+    assert 0.45 <= bars["MOB"].high <= 0.8
+    assert 0.30 <= bars["VZ"].high <= 0.6
+    assert 0.25 <= bars["RM"].low_or_worse <= 0.55

@@ -1,0 +1,37 @@
+"""Figure 11 benchmark: MPTCP vs single-path throughput time series."""
+
+import numpy as np
+
+from benchmarks.conftest import print_rows
+from repro.experiments import fig11_mptcp_trace
+
+
+def test_fig11_mptcp_trace(benchmark):
+    result = benchmark.pedantic(
+        fig11_mptcp_trace.run,
+        kwargs=dict(
+            duration_s=120,
+            seed=11,
+            segment_bytes=6000,
+            combos=("MOB+VZ",),  # MOB+ATT available via the experiment module
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Figure 11: combo, series, mean Mbps, peak Mbps", result)
+    for combo in ("MOB+VZ",):
+        panel = result.panel(combo)
+        print(
+            f"    {combo}: MPTCP >= 0.9x best path in "
+            f"{panel.mptcp_at_least_best_fraction:.0%} of seconds; "
+            f"peak {panel.peak_mbps:.0f} Mbps"
+        )
+        # MPTCP tracks or exceeds the better path most of the time.
+        assert panel.mptcp_at_least_best_fraction > 0.45
+        labels = [l for l in panel.series if l != "MPTCP"]
+        best_mean = max(np.mean(panel.series[l]) for l in labels)
+        assert np.mean(panel.series["MPTCP"]) > 0.9 * best_mean
+        # Aggregation peaks above either single path's own peak (the
+        # paper's ">300 Mbps which neither network reaches alone").
+        best_peak = max(np.max(panel.series[l]) for l in labels)
+        assert panel.peak_mbps > 0.9 * best_peak

@@ -1,0 +1,66 @@
+"""Coverage study: area types, performance levels, network combinations.
+
+Reproduces the paper's Section 5 analysis on a synthetic campaign:
+
+* Figure 8 — UDP downlink throughput by area type (cellular falls toward
+  rural areas, Starlink rises);
+* Figure 9 — the share of driving covered at each performance level, for
+  each network and for the zero-effort switching combinations (BestCL,
+  RM+CL, MOB+CL).
+
+Run:  python examples/coverage_study.py
+"""
+
+import numpy as np
+
+from repro.core import CampaignConfig, run_campaign
+from repro.core.coverage import figure9_shares
+from repro.core.dataset import CELLULAR_NETWORKS
+from repro.geo.classify import AreaType
+
+
+def main() -> None:
+    print("Running a medium campaign (this takes ~10 s)...")
+    dataset = run_campaign(
+        CampaignConfig(
+            seed=7,
+            num_interstate_drives=3,
+            num_city_drives=1,
+            max_drive_seconds=2000.0,
+            test_duration_s=60.0,
+            window_period_s=75.0,
+        )
+    )
+
+    print("\n-- Figure 8: UDP downlink throughput by area type (median Mbps)")
+    print(f"{'area':<10} {'cellular':>9} {'starlink MOB':>13}")
+    for area in (AreaType.URBAN, AreaType.SUBURBAN, AreaType.RURAL):
+        cellular = []
+        for carrier in CELLULAR_NETWORKS:
+            cellular.extend(
+                dataset.filter(
+                    network=carrier, protocol="udp", direction="dl", area=area
+                ).throughput_samples()
+            )
+        mob = dataset.filter(
+            network="MOB", protocol="udp", direction="dl", area=area
+        ).throughput_samples()
+        print(
+            f"{area.value:<10} {np.median(cellular):>9.1f} {np.median(mob):>13.1f}"
+        )
+
+    print("\n-- Figure 9: performance coverage shares")
+    print(f"{'network':<8} {'<20':>6} {'20-50':>6} {'50-100':>7} {'>100':>6}")
+    for bar in figure9_shares(dataset):
+        print(
+            f"{bar.name:<8} {bar.very_low:>6.0%} {bar.low:>6.0%} "
+            f"{bar.medium:>7.0%} {bar.high:>6.0%}"
+        )
+    print(
+        "\nReading: MOB leads the singles; every '+' combination beats its"
+        " components — the paper's case for multipath."
+    )
+
+
+if __name__ == "__main__":
+    main()

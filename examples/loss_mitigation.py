@@ -1,0 +1,83 @@
+"""What to do about Starlink's loss: parallelism, FEC, smarter scheduling.
+
+The paper diagnoses the problem (bursty satellite loss collapses TCP,
+Section 4.1) and names the remedies without building them: TCP
+parallelism (Section 4.2), FEC (Section 1), and LEO-aware MPTCP
+scheduling (Section 6).  This example runs all three on the same
+simulated Starlink channel.
+
+Run:  python examples/loss_mitigation.py
+"""
+
+import numpy as np
+
+from repro.experiments.common import collect_conditions
+from repro.net.path import Path
+from repro.net.simulator import Simulator
+from repro.tools.iperf import _default_buffer, run_tcp_test, run_udp_test
+from repro.transport.fec import FecConfig, open_fec_flow
+
+DURATION_S = 60
+SEGMENT_BYTES = 6000
+SEED = 3
+
+
+def main() -> None:
+    print("Collecting a Starlink Mobility channel trace...")
+    trace = collect_conditions(duration_s=DURATION_S, seed=SEED)["MOB"]
+    live = [s for s in trace if not s.is_outage]
+    print(
+        f"  trace: mean capacity "
+        f"{np.mean([s.downlink_mbps for s in live]):.0f} Mbps, "
+        f"{1 - len(live) / len(trace):.0%} outage seconds, "
+        f"loss {np.mean([s.loss_rate for s in live]):.2%} "
+        f"in bursts of ~{np.mean([s.loss_burst for s in live]):.0f} packets\n"
+    )
+
+    udp = run_udp_test(trace, duration_s=float(DURATION_S), segment_bytes=SEGMENT_BYTES)
+    print(f"  UDP blast (available bandwidth):   {udp.throughput_mbps:6.1f} Mbps")
+
+    tcp1 = run_tcp_test(trace, duration_s=float(DURATION_S), segment_bytes=SEGMENT_BYTES)
+    print(f"  TCP, 1 connection (the problem):   {tcp1.throughput_mbps:6.1f} Mbps")
+
+    tcp8 = run_tcp_test(
+        trace, duration_s=float(DURATION_S), parallel=8, segment_bytes=SEGMENT_BYTES
+    )
+    gain = (tcp8.throughput_mbps / max(tcp1.throughput_mbps, 1e-9) - 1) * 100
+    print(
+        f"  TCP, 8 connections (Section 4.2):   {tcp8.throughput_mbps:6.1f} Mbps "
+        f"({gain:+.0f}% — paper reports >130% at 8P)"
+    )
+
+    mean_capacity = np.mean([s.downlink_mbps for s in live])
+    sim = Simulator()
+    path = Path.from_conditions(
+        sim, trace, np.random.default_rng(SEED),
+        buffer_bytes=_default_buffer(trace, True),
+    )
+    sender, receiver = open_fec_flow(
+        sim, path, 0.8 * mean_capacity,
+        config=FecConfig(data_segments=20, repair_segments=4),
+        segment_bytes=SEGMENT_BYTES,
+    )
+    sender.start()
+    sim.run(until_s=float(DURATION_S))
+    receiver.finalize(sender.stats.blocks_sent)
+    fec_mbps = sender.stats.data_bytes_delivered * 8 / 1e6 / DURATION_S
+    print(
+        f"  FEC k=20 r=4 at 80% rate (Sec. 1):  {fec_mbps:6.1f} Mbps "
+        f"(block loss {sender.stats.block_loss_rate:.1%}, "
+        f"{FecConfig(20, 4).overhead:.0%} overhead)"
+    )
+
+    print(
+        "\nReading: loss-driven congestion control is the bottleneck —"
+        " parallel windows and erasure coding both recover most of the"
+        " UDP ceiling. For the multipath remedy see"
+        " examples/multipath_emulation.py and `python -m repro.experiments"
+        " ext-scheduler`."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Application QoE models built on the network traces."""
+
+from repro.apps.video import (
+    DEFAULT_LADDER_MBPS,
+    HD_1080P_INDEX,
+    PlayerConfig,
+    StreamingSession,
+    VideoVerdict,
+    evaluate_network,
+    play_video,
+)
+
+__all__ = [
+    "DEFAULT_LADDER_MBPS",
+    "HD_1080P_INDEX",
+    "PlayerConfig",
+    "StreamingSession",
+    "VideoVerdict",
+    "evaluate_network",
+    "play_video",
+]

@@ -1,0 +1,177 @@
+"""Video-streaming QoE over a throughput trace.
+
+The paper's cost-benefit argument for the Roam plan (Section 4.1) rests on
+an application claim: "the network requirements of most applications such
+as 1080P video streaming can already be met by Roam."  This module makes
+that claim testable: a buffer-based adaptive-bitrate (ABR) player consumes
+a per-second throughput series, picks renditions from a ladder, and
+reports time-at-quality and rebuffering — the standard QoE decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: A conventional HD bitrate ladder (Mbps), 240p .. 4K.
+DEFAULT_LADDER_MBPS = (0.4, 1.0, 2.5, 5.0, 8.0, 16.0)
+
+#: Ladder index regarded as 1080p in the default ladder (5 Mbps).
+HD_1080P_INDEX = 3
+
+
+@dataclass(frozen=True)
+class PlayerConfig:
+    """Buffer-based ABR in the BBA spirit."""
+
+    ladder_mbps: tuple[float, ...] = DEFAULT_LADDER_MBPS
+    #: Seconds of video the player tries to keep buffered.
+    target_buffer_s: float = 20.0
+    #: Below this buffer level the player drops to the lowest rendition.
+    panic_buffer_s: float = 5.0
+    #: Playback starts after this much video is buffered.
+    startup_buffer_s: float = 2.0
+    #: Segment duration (seconds of video per fetch decision).
+    segment_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.ladder_mbps or any(b <= 0 for b in self.ladder_mbps):
+            raise ValueError("ladder must contain positive bitrates")
+        if list(self.ladder_mbps) != sorted(self.ladder_mbps):
+            raise ValueError("ladder must be sorted ascending")
+        if self.panic_buffer_s >= self.target_buffer_s:
+            raise ValueError("panic level must be below the target buffer")
+
+
+@dataclass
+class StreamingSession:
+    """QoE outcome of playing over one throughput trace."""
+
+    seconds_at_rendition: dict[int, float] = field(default_factory=dict)
+    rebuffer_s: float = 0.0
+    startup_delay_s: float = 0.0
+    bitrate_switches: int = 0
+    played_s: float = 0.0
+    ladder_mbps: tuple[float, ...] = DEFAULT_LADDER_MBPS
+
+    @property
+    def rebuffer_ratio(self) -> float:
+        total = self.played_s + self.rebuffer_s
+        return self.rebuffer_s / total if total > 0 else 0.0
+
+    def time_at_or_above(self, rendition_index: int) -> float:
+        """Fraction of played time at or above a ladder index."""
+        if self.played_s <= 0:
+            return 0.0
+        good = sum(
+            seconds
+            for idx, seconds in self.seconds_at_rendition.items()
+            if idx >= rendition_index
+        )
+        return good / self.played_s
+
+    @property
+    def mean_bitrate_mbps(self) -> float:
+        if self.played_s <= 0:
+            return 0.0
+        weighted = sum(
+            self.ladder_mbps[idx] * seconds
+            for idx, seconds in self.seconds_at_rendition.items()
+            if idx < len(self.ladder_mbps)
+        )
+        return weighted / self.played_s
+
+
+def play_video(
+    throughput_mbps: list[float],
+    config: PlayerConfig | None = None,
+) -> StreamingSession:
+    """Simulate a buffer-based ABR player over a 1 Hz throughput series.
+
+    Each simulated second the player downloads video at the network rate
+    into its buffer (at the chosen rendition's cost per video-second) and
+    plays one second out of it, stalling when the buffer is empty.
+    """
+    config = config or PlayerConfig()
+    ladder = config.ladder_mbps
+    session = StreamingSession(ladder_mbps=tuple(ladder))
+
+    buffer_s = 0.0
+    started = False
+    rendition = 0
+    for second, rate in enumerate(throughput_mbps):
+        if rate < 0:
+            raise ValueError(f"negative throughput at second {second}")
+        # ABR decision (per second; segment granularity folded in).
+        previous = rendition
+        if buffer_s <= config.panic_buffer_s:
+            rendition = 0
+        else:
+            # Highest rendition sustainable at the recent rate with margin,
+            # nudged up when the buffer is comfortable.
+            sustainable = [
+                i for i, b in enumerate(ladder) if b <= 0.85 * rate
+            ]
+            candidate = sustainable[-1] if sustainable else 0
+            if buffer_s >= config.target_buffer_s:
+                candidate = min(candidate + 1, len(ladder) - 1)
+            rendition = candidate
+        if started and rendition != previous:
+            session.bitrate_switches += 1
+
+        # Download: one wall second of network time buys rate/bitrate
+        # seconds of video (capped at the buffer target).
+        bitrate = ladder[rendition]
+        gained_s = rate / bitrate
+        buffer_s = min(buffer_s + gained_s, config.target_buffer_s + 10.0)
+
+        if not started:
+            session.startup_delay_s += 1.0
+            if buffer_s >= config.startup_buffer_s:
+                started = True
+            continue
+
+        # Playback: consume one second if available, else rebuffer.
+        if buffer_s >= 1.0:
+            buffer_s -= 1.0
+            session.played_s += 1.0
+            session.seconds_at_rendition[rendition] = (
+                session.seconds_at_rendition.get(rendition, 0.0) + 1.0
+            )
+        else:
+            session.rebuffer_s += 1.0
+    return session
+
+
+@dataclass
+class VideoVerdict:
+    """The paper's application question, answered for one network."""
+
+    network: str
+    hd_time_share: float  # played time at >= 1080p
+    rebuffer_ratio: float
+    mean_bitrate_mbps: float
+
+    @property
+    def supports_hd(self) -> bool:
+        """'Meets 1080p requirements': mostly-HD playback without stalls.
+
+        In motion, brief obstruction-driven quality dips are inevitable;
+        the bar is >= 60 % of played time at 1080p+ with < 3 % rebuffering
+        (stalls hurt QoE far more than rendition dips).
+        """
+        return self.hd_time_share >= 0.6 and self.rebuffer_ratio < 0.03
+
+
+def evaluate_network(
+    network: str, throughput_mbps: list[float], config: PlayerConfig | None = None
+) -> VideoVerdict:
+    """Play one trace and summarize it as a verdict."""
+    session = play_video(throughput_mbps, config)
+    return VideoVerdict(
+        network=network,
+        hd_time_share=session.time_at_or_above(HD_1080P_INDEX),
+        rebuffer_ratio=session.rebuffer_ratio,
+        mean_bitrate_mbps=session.mean_bitrate_mbps,
+    )

@@ -1,0 +1,106 @@
+"""Cellular link-condition model: one carrier, one phone, per-second samples.
+
+Mirrors :class:`repro.leo.channel.StarlinkChannel` on the cellular side:
+serving-cell tracking + propagation + band/capacity + load produce a
+:class:`repro.conditions.LinkConditions` each second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cellular.capacity import CellLoad, achievable_rate, draw_band
+from repro.cellular.carriers import Band, CarrierProfile
+from repro.cellular.deployment import ServingCellTracker
+from repro.cellular.propagation import CorrelatedShadowing, snr_db
+from repro.conditions import LinkConditions, outage
+from repro.geo.classify import AreaType
+from repro.geo.coords import GeoPoint
+from repro.rng import RngStreams
+
+
+class CellularChannel:
+    """Per-second link conditions for one phone on one carrier."""
+
+    #: How long a serving band persists before re-evaluation (seconds).
+    BAND_DWELL_S = 90.0
+    #: HARQ repairs most radio loss; residual e2e loss clusters at the
+    #: rare moments HARQ gives up (cell edge, handover).
+    LOSS_BURST = 8.0
+
+    def __init__(self, carrier: CarrierProfile, rng: RngStreams | None = None):
+        rng = rng or RngStreams(0)
+        self.carrier = carrier
+        self._gen = rng.get(f"cellular.channel.{carrier.short_name}")
+        self.tracker = ServingCellTracker(carrier, self._gen)
+        self.shadowing = CorrelatedShadowing(self._gen)
+        self.load = CellLoad(self._gen)
+        self._band: Band | None = None
+        self._band_until_s = -1.0
+        self._hole_until_s = -1.0
+
+    def sample(
+        self,
+        time_s: float,
+        position: GeoPoint,  # unused by physics, kept for API symmetry
+        speed_kmh: float,
+        area: AreaType,
+    ) -> LinkConditions:
+        """Link conditions for this second of driving."""
+        # Coverage holes: several-second dead zones, more likely rurally and
+        # on sparse carriers.
+        if time_s < self._hole_until_s:
+            return outage(time_s)
+        if self._gen.random() < self.carrier.hole_probability[area] / 8.0:
+            # Hole durations of 3-15 s at the hole entry rate above yield
+            # the per-sample hole probabilities in the carrier profile.
+            self._hole_until_s = time_s + float(self._gen.uniform(3.0, 15.0))
+            return outage(time_s)
+
+        distance_km = self.tracker.step(area, speed_kmh)
+        shadow_db = self.shadowing.step(speed_kmh)
+        snr = snr_db(distance_km, self._gen, shadowing_db=shadow_db)
+
+        if self._band is None or time_s >= self._band_until_s:
+            self._band = draw_band(self.carrier.band_mix[area], self._gen)
+            self._band_until_s = time_s + self.BAND_DWELL_S
+
+        share = self.load.step(area)
+        dl, ul = achievable_rate(self._band, snr, share)
+
+        rtt = self._rtt_ms(snr)
+        loss = self._loss_rate(snr)
+        return LinkConditions(
+            time_s=time_s,
+            downlink_mbps=dl,
+            uplink_mbps=ul,
+            rtt_ms=rtt,
+            loss_rate=loss,
+            loss_burst=self.LOSS_BURST,
+        )
+
+    def _rtt_ms(self, snr_db_value: float) -> float:
+        """Core RTT plus radio scheduling, inflated at weak signal."""
+        radio_ms = float(self._gen.exponential(6.0))
+        weak_signal_penalty = max(0.0, (5.0 - snr_db_value)) * 2.0
+        return self.carrier.core_rtt_ms + radio_ms + weak_signal_penalty
+
+    def _loss_rate(self, snr_db_value: float) -> float:
+        """End-to-end random loss.
+
+        HARQ/RLC retransmission hides virtually all radio loss from the
+        transport layer, so e2e random loss is tiny except at cell edge —
+        which is why cellular TCP tracks cellular UDP in the paper while
+        Starlink TCP collapses.
+        """
+        base = 5e-6
+        weak = 0.0008 if snr_db_value < -5.0 else 0.0
+        burst = float(self._gen.exponential(5e-6))
+        return float(np.clip(base + weak + burst, 0.0, 1.0))
+
+    def reset(self) -> None:
+        """Reset per-drive state."""
+        self.tracker.reset()
+        self._band = None
+        self._band_until_s = -1.0
+        self._hole_until_s = -1.0

@@ -1,0 +1,74 @@
+"""Base-station deployment as a spatial Poisson process.
+
+The paper's coverage findings hinge on one mechanism: base stations are
+densely deployed where people are (Section 5.1, citing rural deployment
+cost).  We model each carrier's sites as a homogeneous Poisson point process
+per area type; the distance from the vehicle to its serving site is then the
+nearest-point distance, which for a PPP of intensity lambda is Rayleigh:
+``P(D > r) = exp(-lambda * pi * r^2)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cellular.carriers import CarrierProfile
+from repro.geo.classify import AreaType
+
+
+def nearest_site_distance_km(
+    density_per_km2: float, gen: np.random.Generator
+) -> float:
+    """Draw the nearest-base-station distance for a PPP of given intensity."""
+    if density_per_km2 <= 0:
+        raise ValueError(f"density must be positive, got {density_per_km2}")
+    u = float(gen.uniform(1e-12, 1.0))
+    return math.sqrt(-math.log(u) / (density_per_km2 * math.pi))
+
+
+class ServingCellTracker:
+    """Tracks the serving site's distance as the vehicle drives.
+
+    Between handovers, the distance to the serving site changes smoothly
+    with vehicle motion (a random radial component of the speed).  When the
+    vehicle exits the cell (distance exceeds the handover radius) or a
+    better cell appears, it re-attaches to a freshly drawn nearest site.
+    This gives the sawtooth signal-strength profile real drive tests show.
+    """
+
+    #: Multiple of the mean nearest-site distance at which handover triggers.
+    HANDOVER_RADIUS_FACTOR = 1.45
+
+    def __init__(self, carrier: CarrierProfile, gen: np.random.Generator):
+        self.carrier = carrier
+        self._gen = gen
+        self._distance_km: float | None = None
+        self._area: AreaType | None = None
+        self.handover_count = 0
+
+    def step(self, area: AreaType, speed_kmh: float) -> float:
+        """Advance one second; return distance to the serving site (km)."""
+        density = self.carrier.site_density[area]
+        mean_nearest = 0.5 / math.sqrt(density)
+        if self._distance_km is None or self._area != area:
+            # Entering coverage or a new area type: attach to nearest site.
+            self._distance_km = nearest_site_distance_km(density, self._gen)
+            self._area = area
+            self.handover_count += 1
+        else:
+            # Radial drift: the vehicle's motion projects onto the
+            # user-to-site axis.  The bias is outward — a car approaches a
+            # site briefly, passes it, then recedes until handover.
+            drift_km = speed_kmh / 3600.0 * float(self._gen.uniform(-0.3, 1.0))
+            self._distance_km = max(0.01, self._distance_km + drift_km)
+            if self._distance_km > self.HANDOVER_RADIUS_FACTOR * mean_nearest:
+                self._distance_km = nearest_site_distance_km(density, self._gen)
+                self.handover_count += 1
+        return self._distance_km
+
+    def reset(self) -> None:
+        """Detach (new drive / airplane mode toggle)."""
+        self._distance_km = None
+        self._area = None

@@ -1,0 +1,96 @@
+"""Radio propagation: log-distance path loss, shadowing, fast fading.
+
+A standard 3GPP-flavored urban-macro abstraction: received SNR falls off
+with log-distance, lognormal shadowing rides on top, and per-second Rayleigh
+fading wiggles the instantaneous rate.  Only relative behaviour matters for
+the reproduction, so constants are chosen to land typical drive-test SNRs
+(about -5..30 dB) at the deployment's typical serving distances.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Transmit EIRP minus receiver noise floor, folded into one constant (dB).
+LINK_BUDGET_DB = 128.0
+
+#: Path-loss exponent: free-space-ish near the site, urban clutter beyond.
+PATH_LOSS_EXPONENT = 3.35
+
+#: Reference distance for the log-distance model (km).
+REFERENCE_DISTANCE_KM = 0.05
+
+#: Path loss at the reference distance (dB).
+REFERENCE_LOSS_DB = 72.0
+
+#: Lognormal shadowing standard deviation (dB).
+SHADOWING_SIGMA_DB = 6.0
+
+
+def path_loss_db(distance_km: float) -> float:
+    """Log-distance path loss at ``distance_km``."""
+    if distance_km <= 0:
+        raise ValueError(f"distance must be positive, got {distance_km}")
+    d = max(distance_km, REFERENCE_DISTANCE_KM)
+    return REFERENCE_LOSS_DB + 10.0 * PATH_LOSS_EXPONENT * math.log10(
+        d / REFERENCE_DISTANCE_KM
+    )
+
+
+def snr_db(
+    distance_km: float,
+    gen: np.random.Generator,
+    shadowing_db: float | None = None,
+) -> float:
+    """Instantaneous SNR after shadowing and Rayleigh fading (dB).
+
+    ``shadowing_db`` can be supplied by a correlated process; when omitted an
+    independent lognormal draw is used.
+    """
+    if shadowing_db is None:
+        shadowing_db = float(gen.normal(0.0, SHADOWING_SIGMA_DB))
+    # Residual fast-fading variation: over a 1 s average the Rayleigh
+    # envelope largely washes out, leaving a small dB-scale wiggle.
+    fading_db = float(gen.normal(0.0, 1.5))
+    return LINK_BUDGET_DB - path_loss_db(distance_km) + shadowing_db + fading_db
+
+
+def shannon_efficiency(snr_db_value: float, max_bits_per_hz: float = 7.4) -> float:
+    """Spectral efficiency (bits/s/Hz) from SNR, capped at the MCS ceiling.
+
+    Shannon capacity with a 3 dB implementation penalty, clipped at the top
+    modulation-and-coding-scheme efficiency (256-QAM-ish).
+    """
+    effective_snr = 10.0 ** ((snr_db_value - 3.0) / 10.0)
+    return min(math.log2(1.0 + effective_snr), max_bits_per_hz)
+
+
+class CorrelatedShadowing:
+    """Gudmundson-style exponentially correlated shadowing along the drive.
+
+    Successive seconds of a drive see correlated shadowing (the same hill
+    blocks you for a while).  Decorrelation distance ~100 m.
+    """
+
+    def __init__(
+        self,
+        gen: np.random.Generator,
+        sigma_db: float = SHADOWING_SIGMA_DB,
+        decorrelation_m: float = 100.0,
+    ):
+        self._gen = gen
+        self.sigma_db = sigma_db
+        self.decorrelation_m = decorrelation_m
+        self._value_db = float(gen.normal(0.0, sigma_db))
+
+    def step(self, speed_kmh: float) -> float:
+        """Advance one second at ``speed_kmh``; return shadowing (dB)."""
+        distance_m = max(speed_kmh, 0.0) / 3.6
+        rho = math.exp(-distance_m / self.decorrelation_m)
+        innovation = float(
+            self._gen.normal(0.0, self.sigma_db * math.sqrt(1.0 - rho**2))
+        )
+        self._value_db = rho * self._value_db + innovation
+        return self._value_db

@@ -1,0 +1,57 @@
+"""The common per-second link-condition sample.
+
+Both channel substrates (LEO and cellular) reduce their physics to the same
+quantities per second: available capacity in each direction, base round-trip
+time, and random packet-loss probability.  Everything downstream — the fluid
+throughput models, the Mahimahi-style trace replay, and the packet-level
+simulator — consumes this one type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkConditions:
+    """Network conditions experienced during one second."""
+
+    time_s: float
+    downlink_mbps: float
+    uplink_mbps: float
+    rtt_ms: float
+    loss_rate: float
+    #: Mean number of consecutive packets lost per loss event.  Starlink
+    #: loss clusters around handover/blockage events (tens of packets);
+    #: cellular loss is near-independent.  1.0 means Bernoulli loss.
+    loss_burst: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.downlink_mbps < 0 or self.uplink_mbps < 0:
+            raise ValueError("capacities must be non-negative")
+        if self.rtt_ms < 0:
+            raise ValueError(f"rtt must be non-negative, got {self.rtt_ms}")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
+        if self.loss_burst < 1.0:
+            raise ValueError(f"loss_burst must be >= 1, got {self.loss_burst}")
+
+    @property
+    def is_outage(self) -> bool:
+        """True when no data can flow in either direction."""
+        return self.downlink_mbps <= 0.0 and self.uplink_mbps <= 0.0
+
+    def capacity_mbps(self, downlink: bool) -> float:
+        """Capacity for the requested direction."""
+        return self.downlink_mbps if downlink else self.uplink_mbps
+
+
+def outage(time_s: float, rtt_ms: float = 1000.0) -> LinkConditions:
+    """A fully dead second (used during deep blockage / no coverage)."""
+    return LinkConditions(
+        time_s=time_s,
+        downlink_mbps=0.0,
+        uplink_mbps=0.0,
+        rtt_ms=rtt_ms,
+        loss_rate=1.0,
+    )

@@ -1,0 +1,95 @@
+"""Core: fluid models, campaign orchestration, dataset, analysis, coverage."""
+
+from repro.core.analysis import (
+    SummaryStats,
+    cdf,
+    cdf_at,
+    group_means,
+    improvement_percent,
+    speed_bucket,
+)
+from repro.core.campaign import (
+    Campaign,
+    CampaignConfig,
+    DEFAULT_CYCLE,
+    TestKind,
+    run_campaign,
+)
+from repro.core.coverage import (
+    CoverageShares,
+    LEVEL_EDGES_MBPS,
+    PerformanceLevel,
+    best_of,
+    classify_level,
+    coverage_shares,
+    figure9_shares,
+)
+from repro.core.dataset import (
+    CELLULAR_NETWORKS,
+    DriveDataset,
+    NETWORKS,
+    STARLINK_NETWORKS,
+    SecondSample,
+    TestRecord,
+)
+from repro.core.stats import (
+    ComparisonResult,
+    ConfidenceInterval,
+    block_bootstrap_ci,
+    compare_networks,
+    summarize_with_ci,
+)
+from repro.core.switching import (
+    SwitchOutcome,
+    SwitchPolicy,
+    hysteresis_switching,
+    oracle_switching,
+)
+from repro.core.fluid import (
+    FluidTcp,
+    fluid_tcp_retransmission_rate,
+    fluid_tcp_series,
+    fluid_udp_series,
+    mathis_throughput_mbps,
+)
+
+__all__ = [
+    "CELLULAR_NETWORKS",
+    "Campaign",
+    "CampaignConfig",
+    "ComparisonResult",
+    "ConfidenceInterval",
+    "CoverageShares",
+    "DEFAULT_CYCLE",
+    "DriveDataset",
+    "FluidTcp",
+    "LEVEL_EDGES_MBPS",
+    "NETWORKS",
+    "PerformanceLevel",
+    "STARLINK_NETWORKS",
+    "SecondSample",
+    "SummaryStats",
+    "SwitchOutcome",
+    "SwitchPolicy",
+    "TestKind",
+    "TestRecord",
+    "best_of",
+    "block_bootstrap_ci",
+    "cdf",
+    "cdf_at",
+    "classify_level",
+    "compare_networks",
+    "coverage_shares",
+    "fluid_tcp_retransmission_rate",
+    "fluid_tcp_series",
+    "fluid_udp_series",
+    "figure9_shares",
+    "group_means",
+    "hysteresis_switching",
+    "improvement_percent",
+    "oracle_switching",
+    "mathis_throughput_mbps",
+    "run_campaign",
+    "speed_bucket",
+    "summarize_with_ci",
+]

@@ -1,0 +1,155 @@
+"""Performance-coverage analysis (Section 5.2, Figure 9).
+
+Groups per-second throughput samples into the paper's four performance
+levels and computes, per network, the share of samples in each level.  Also
+implements the paper's combination bars: ``BestCL`` (an MVNO picking the
+best cellular carrier each second), ``RM+CL``/``MOB+CL`` (a user switching
+freely between one Starlink plan and the best cellular network).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.dataset import CELLULAR_NETWORKS, DriveDataset
+
+
+class PerformanceLevel(enum.Enum):
+    """The paper's throughput bands (Mbps)."""
+
+    VERY_LOW = "very-low"  # < 20
+    LOW = "low"  # 20 - 50
+    MEDIUM = "medium"  # 50 - 100
+    HIGH = "high"  # > 100
+
+
+#: Band edges in Mbps, matching Section 5.2's definitions.
+LEVEL_EDGES_MBPS = (20.0, 50.0, 100.0)
+
+
+def classify_level(throughput_mbps: float) -> PerformanceLevel:
+    """Performance level of one throughput sample."""
+    if throughput_mbps < 0:
+        raise ValueError(f"throughput must be non-negative, got {throughput_mbps}")
+    if throughput_mbps < LEVEL_EDGES_MBPS[0]:
+        return PerformanceLevel.VERY_LOW
+    if throughput_mbps < LEVEL_EDGES_MBPS[1]:
+        return PerformanceLevel.LOW
+    if throughput_mbps < LEVEL_EDGES_MBPS[2]:
+        return PerformanceLevel.MEDIUM
+    return PerformanceLevel.HIGH
+
+
+@dataclass(frozen=True)
+class CoverageShares:
+    """Share of samples per performance level for one (possibly combined)
+    network."""
+
+    name: str
+    very_low: float
+    low: float
+    medium: float
+    high: float
+
+    def share(self, level: PerformanceLevel) -> float:
+        return {
+            PerformanceLevel.VERY_LOW: self.very_low,
+            PerformanceLevel.LOW: self.low,
+            PerformanceLevel.MEDIUM: self.medium,
+            PerformanceLevel.HIGH: self.high,
+        }[level]
+
+    @property
+    def low_or_worse(self) -> float:
+        """The paper's 'low and very-low' combined share."""
+        return self.very_low + self.low
+
+
+def coverage_shares(name: str, throughputs_mbps: list[float]) -> CoverageShares:
+    """Level shares for one list of per-second samples."""
+    if not throughputs_mbps:
+        raise ValueError(f"{name}: no samples to classify")
+    counts = {level: 0 for level in PerformanceLevel}
+    for value in throughputs_mbps:
+        counts[classify_level(value)] += 1
+    total = len(throughputs_mbps)
+    return CoverageShares(
+        name=name,
+        very_low=counts[PerformanceLevel.VERY_LOW] / total,
+        low=counts[PerformanceLevel.LOW] / total,
+        medium=counts[PerformanceLevel.MEDIUM] / total,
+        high=counts[PerformanceLevel.HIGH] / total,
+    )
+
+
+def _aligned_samples(
+    dataset: DriveDataset, networks: list[str], protocol: str, direction: str
+) -> dict[str, list[float]]:
+    """Per-network per-second throughput, aligned across networks.
+
+    Campaign tests run simultaneously on all devices, so records with the
+    same ``test_id`` window share timestamps; alignment pairs the i-th
+    second of each network's record within each window.
+    """
+    subset = dataset.filter(protocol=protocol, direction=direction)
+    by_window: dict[tuple[int, float], dict[str, list[float]]] = {}
+    for rec in subset.records:
+        if rec.network not in networks or not rec.samples:
+            continue
+        key = (rec.drive_id, rec.samples[0].time_s)
+        by_window.setdefault(key, {})[rec.network] = [
+            s.throughput_mbps for s in rec.samples
+        ]
+    out: dict[str, list[float]] = {n: [] for n in networks}
+    for window in by_window.values():
+        if len(window) != len(networks):
+            continue  # a device missed this window
+        length = min(len(v) for v in window.values())
+        for network in networks:
+            out[network].extend(window[network][:length])
+    return out
+
+
+def best_of(
+    dataset: DriveDataset,
+    networks: list[str],
+    protocol: str = "udp",
+    direction: str = "dl",
+) -> list[float]:
+    """Per-second max across networks — the zero-effort switching oracle."""
+    aligned = _aligned_samples(dataset, networks, protocol, direction)
+    lengths = {len(v) for v in aligned.values()}
+    if len(lengths) != 1:
+        raise RuntimeError("alignment produced ragged series")
+    columns = [aligned[n] for n in networks]
+    return [max(values) for values in zip(*columns)]
+
+
+def figure9_shares(
+    dataset: DriveDataset, protocol: str = "udp", direction: str = "dl"
+) -> list[CoverageShares]:
+    """All eight Figure 9 bars, in the paper's order."""
+    cl = list(CELLULAR_NETWORKS)
+
+    def single(network: str) -> CoverageShares:
+        samples = dataset.filter(
+            network=network, protocol=protocol, direction=direction
+        ).throughput_samples()
+        return coverage_shares(network, samples)
+
+    def combo(name: str, networks: list[str]) -> CoverageShares:
+        return coverage_shares(
+            name, best_of(dataset, networks, protocol, direction)
+        )
+
+    return [
+        single("ATT"),
+        single("TM"),
+        single("VZ"),
+        combo("BestCL", cl),
+        single("RM"),
+        combo("RM+CL", ["RM"] + cl),
+        single("MOB"),
+        combo("MOB+CL", ["MOB"] + cl),
+    ]

@@ -1,0 +1,242 @@
+"""The driving dataset: test records and their per-second samples.
+
+Mirrors the shape of the paper's released dataset: a list of network tests
+(each tagged with network, protocol, direction, parallelism) whose rows are
+1 Hz samples joining measurement values with 5G-Tracker metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.geo.classify import AreaType
+
+#: Canonical network identifiers, matching the paper's abbreviations.
+NETWORKS = ("RM", "MOB", "ATT", "TM", "VZ")
+STARLINK_NETWORKS = ("RM", "MOB")
+CELLULAR_NETWORKS = ("ATT", "TM", "VZ")
+
+
+@dataclass(frozen=True)
+class SecondSample:
+    """One second of one network test, joined with tracker metadata."""
+
+    time_s: float
+    throughput_mbps: float
+    rtt_ms: float
+    loss_rate: float
+    speed_kmh: float
+    area: AreaType
+    lat_deg: float
+    lon_deg: float
+
+
+@dataclass
+class TestRecord:
+    """One network test (one iPerf/UDP-Ping invocation on one device)."""
+
+    test_id: int
+    drive_id: int
+    network: str
+    protocol: str  # "tcp" | "udp" | "ping"
+    direction: str  # "dl" | "ul"
+    parallel: int
+    samples: list[SecondSample] = field(default_factory=list)
+    retransmission_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.network not in NETWORKS:
+            raise ValueError(f"unknown network {self.network!r}")
+        if self.protocol not in ("tcp", "udp", "ping"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.direction not in ("dl", "ul"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {self.parallel}")
+
+    @property
+    def duration_s(self) -> float:
+        return float(len(self.samples))
+
+    @property
+    def mean_throughput_mbps(self) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.mean([s.throughput_mbps for s in self.samples]))
+
+    @property
+    def median_throughput_mbps(self) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.median([s.throughput_mbps for s in self.samples]))
+
+    @property
+    def is_starlink(self) -> bool:
+        return self.network in STARLINK_NETWORKS
+
+
+class DriveDataset:
+    """Everything one campaign produced."""
+
+    def __init__(
+        self,
+        records: list[TestRecord],
+        trace_minutes: float = 0.0,
+        distance_km: float = 0.0,
+        area_proportions: dict[AreaType, float] | None = None,
+    ):
+        self.records = list(records)
+        self.trace_minutes = trace_minutes
+        self.distance_km = distance_km
+        self.area_proportions = area_proportions or {}
+
+    # -- selection ---------------------------------------------------------
+
+    def filter(
+        self,
+        network: str | None = None,
+        protocol: str | None = None,
+        direction: str | None = None,
+        parallel: int | None = None,
+        area: AreaType | None = None,
+    ) -> "DriveDataset":
+        """Subset of records (area filters *samples* within records)."""
+        out: list[TestRecord] = []
+        for rec in self.records:
+            if network is not None and rec.network != network:
+                continue
+            if protocol is not None and rec.protocol != protocol:
+                continue
+            if direction is not None and rec.direction != direction:
+                continue
+            if parallel is not None and rec.parallel != parallel:
+                continue
+            if area is not None:
+                samples = [s for s in rec.samples if s.area == area]
+                if not samples:
+                    continue
+                rec = TestRecord(
+                    test_id=rec.test_id,
+                    drive_id=rec.drive_id,
+                    network=rec.network,
+                    protocol=rec.protocol,
+                    direction=rec.direction,
+                    parallel=rec.parallel,
+                    samples=samples,
+                    retransmission_rate=rec.retransmission_rate,
+                )
+            out.append(rec)
+        return DriveDataset(
+            out, self.trace_minutes, self.distance_km, self.area_proportions
+        )
+
+    def throughput_samples(self) -> list[float]:
+        """All per-second throughput values across matching records."""
+        return [
+            s.throughput_mbps for rec in self.records for s in rec.samples
+        ]
+
+    def rtt_samples(self) -> list[float]:
+        """All per-second RTT values (outage seconds excluded)."""
+        return [
+            s.rtt_ms
+            for rec in self.records
+            for s in rec.samples
+            if s.loss_rate < 1.0
+        ]
+
+    def test_means(self) -> list[float]:
+        """Per-test mean throughput (one value per record)."""
+        return [rec.mean_throughput_mbps for rec in self.records]
+
+    @property
+    def num_tests(self) -> int:
+        return len(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save_json(self, path: str | os.PathLike) -> None:
+        """Serialize the dataset (samples included) to JSON."""
+        payload = {
+            "trace_minutes": self.trace_minutes,
+            "distance_km": self.distance_km,
+            "area_proportions": {
+                area.value: share for area, share in self.area_proportions.items()
+            },
+            "records": [
+                {
+                    **{
+                        k: v
+                        for k, v in asdict(rec).items()
+                        if k != "samples"
+                    },
+                    "samples": [
+                        {**asdict(s), "area": s.area.value} for s in rec.samples
+                    ],
+                }
+                for rec in self.records
+            ],
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+
+    def export_csv(self, path: str | os.PathLike) -> int:
+        """Write per-second rows as CSV (one row per sample); returns count.
+
+        Columns mirror the released dataset's joined form: test metadata
+        plus the 5G-Tracker fields for each second.
+        """
+        import csv
+
+        count = 0
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    "test_id", "drive_id", "network", "protocol",
+                    "direction", "parallel", "time_s", "throughput_mbps",
+                    "rtt_ms", "loss_rate", "speed_kmh", "area",
+                    "lat_deg", "lon_deg",
+                ]
+            )
+            for rec in self.records:
+                for s in rec.samples:
+                    writer.writerow(
+                        [
+                            rec.test_id, rec.drive_id, rec.network,
+                            rec.protocol, rec.direction, rec.parallel,
+                            s.time_s, s.throughput_mbps, s.rtt_ms,
+                            s.loss_rate, s.speed_kmh, s.area.value,
+                            s.lat_deg, s.lon_deg,
+                        ]
+                    )
+                    count += 1
+        return count
+
+    @classmethod
+    def load_json(cls, path: str | os.PathLike) -> "DriveDataset":
+        """Load a dataset written by :meth:`save_json`."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        records = []
+        for raw in payload["records"]:
+            samples = [
+                SecondSample(**{**s, "area": AreaType(s["area"])})
+                for s in raw.pop("samples")
+            ]
+            records.append(TestRecord(**raw, samples=samples))
+        return cls(
+            records,
+            trace_minutes=payload["trace_minutes"],
+            distance_km=payload["distance_km"],
+            area_proportions={
+                AreaType(k): v for k, v in payload["area_proportions"].items()
+            },
+        )

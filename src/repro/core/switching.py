@@ -1,0 +1,140 @@
+"""Network switching policies over aligned per-second series.
+
+Figure 9's combination bars assume a user who "can switch between them
+with zero effort" — an oracle.  This module quantifies how much of that
+oracle a *realistic* switcher keeps once switching costs exist: a policy
+observes each network's recent throughput, switches only when another
+network has looked better by a margin for a dwell period, and pays a
+connection-setup outage on every switch.  The gap between oracle and
+policy is the paper's implicit argument for MPTCP (use both at once, no
+switching at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SwitchPolicy:
+    """Hysteresis switcher parameters."""
+
+    #: Relative advantage another network must show before switching.
+    margin: float = 0.25
+    #: Seconds the advantage must persist (debounce).
+    dwell_s: int = 5
+    #: Seconds of dead time per switch (attach/DHCP/app reconnect).
+    switch_outage_s: int = 3
+
+    def __post_init__(self) -> None:
+        if self.margin < 0:
+            raise ValueError(f"margin must be non-negative, got {self.margin}")
+        if self.dwell_s < 1:
+            raise ValueError(f"dwell must be >= 1 s, got {self.dwell_s}")
+        if self.switch_outage_s < 0:
+            raise ValueError(
+                f"switch outage must be non-negative, got {self.switch_outage_s}"
+            )
+
+
+@dataclass
+class SwitchOutcome:
+    """What a policy achieved over the aligned series."""
+
+    achieved_mbps: list[float]
+    switches: int
+    #: Which network served each second (by series key).
+    serving: list[str]
+
+    @property
+    def mean_mbps(self) -> float:
+        if not self.achieved_mbps:
+            return 0.0
+        return float(np.mean(self.achieved_mbps))
+
+
+def oracle_switching(series: dict[str, list[float]]) -> SwitchOutcome:
+    """The paper's zero-effort upper bound: per-second max."""
+    names = list(series)
+    _validate(series)
+    columns = np.vstack([series[n] for n in names])
+    best_idx = np.argmax(columns, axis=0)
+    achieved = columns[best_idx, np.arange(columns.shape[1])]
+    switches = int(np.sum(best_idx[1:] != best_idx[:-1]))
+    return SwitchOutcome(
+        achieved_mbps=[float(v) for v in achieved],
+        switches=switches,
+        serving=[names[i] for i in best_idx],
+    )
+
+
+def hysteresis_switching(
+    series: dict[str, list[float]], policy: SwitchPolicy | None = None
+) -> SwitchOutcome:
+    """A realistic single-homed client with switching costs.
+
+    The client only observes the network it is currently attached to at
+    full fidelity; candidates are judged by their actual capacity (an
+    optimistic assumption — real clients probe — so the result is an upper
+    bound on single-homed switching).
+    """
+    policy = policy or SwitchPolicy()
+    names = list(series)
+    _validate(series)
+    length = len(series[names[0]])
+    columns = {n: np.asarray(series[n], float) for n in names}
+
+    current = max(names, key=lambda n: columns[n][0])
+    achieved: list[float] = []
+    serving: list[str] = []
+    switches = 0
+    better_streak: dict[str, int] = {n: 0 for n in names}
+    outage_left = 0
+
+    for t in range(length):
+        # Update challenger streaks.
+        for name in names:
+            if name == current:
+                better_streak[name] = 0
+                continue
+            if columns[name][t] > (1.0 + policy.margin) * columns[current][t]:
+                better_streak[name] += 1
+            else:
+                better_streak[name] = 0
+
+        if outage_left > 0:
+            outage_left -= 1
+            achieved.append(0.0)
+            serving.append(current)
+            continue
+
+        challenger = max(names, key=lambda n: better_streak[n])
+        if better_streak[challenger] >= policy.dwell_s:
+            current = challenger
+            switches += 1
+            better_streak = {n: 0 for n in names}
+            outage_left = policy.switch_outage_s
+            if outage_left > 0:
+                outage_left -= 1
+                achieved.append(0.0)
+                serving.append(current)
+                continue
+
+        achieved.append(float(columns[current][t]))
+        serving.append(current)
+
+    return SwitchOutcome(
+        achieved_mbps=achieved, switches=switches, serving=serving
+    )
+
+
+def _validate(series: dict[str, list[float]]) -> None:
+    if not series:
+        raise ValueError("need at least one network series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {lengths}")
+    if lengths == {0}:
+        raise ValueError("series are empty")

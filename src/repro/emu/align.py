@@ -1,0 +1,61 @@
+"""Timestamp alignment of traces collected on different devices.
+
+Section 6: "Different network traces are aligned via timestamps so that
+they reflect the network conditions experienced by users at the same
+location and time."  Each device's clock has an offset and tests start at
+slightly different moments; alignment intersects the time ranges and
+re-bases everything at zero on a common 1 Hz grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.conditions import LinkConditions, outage
+
+
+def align_conditions(
+    traces: list[list[LinkConditions]],
+    offsets_s: list[float] | None = None,
+) -> list[list[LinkConditions]]:
+    """Align several condition traces onto a shared 1 Hz timeline.
+
+    ``offsets_s[i]`` is added to every timestamp of trace ``i`` (clock
+    correction).  The output traces all start at t=0 and have equal length
+    (the overlap of all inputs); seconds missing from a trace are filled
+    with outage samples, which is how a dead modem shows up in the data.
+    """
+    if not traces or any(not t for t in traces):
+        raise ValueError("every trace must be non-empty")
+    offsets = offsets_s or [0.0] * len(traces)
+    if len(offsets) != len(traces):
+        raise ValueError(
+            f"{len(offsets)} offsets for {len(traces)} traces"
+        )
+
+    shifted: list[dict[int, LinkConditions]] = []
+    for trace, offset in zip(traces, offsets):
+        by_second: dict[int, LinkConditions] = {}
+        for sample in trace:
+            second = int(math.floor(sample.time_s + offset))
+            by_second[second] = sample
+        shifted.append(by_second)
+
+    start = max(min(d) for d in shifted)
+    end = min(max(d) for d in shifted)
+    if end < start:
+        raise ValueError("traces do not overlap in time")
+
+    aligned: list[list[LinkConditions]] = []
+    for by_second in shifted:
+        row: list[LinkConditions] = []
+        for second in range(start, end + 1):
+            t = float(second - start)
+            sample = by_second.get(second)
+            if sample is None:
+                row.append(outage(t))
+            else:
+                row.append(replace(sample, time_s=t))
+        aligned.append(row)
+    return aligned

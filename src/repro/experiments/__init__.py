@@ -1,0 +1,58 @@
+"""One module per paper figure, plus the dataset summary.
+
+Every module exposes ``run(...)`` returning a result object with a
+``rows()`` method that prints the same rows/series the paper reports.
+The registry maps experiment ids to those entry points.
+"""
+
+from repro.experiments import (
+    dataset_summary,
+    ext_fec,
+    ext_scheduler,
+    ext_switching,
+    ext_video,
+    ext_weather,
+    fig01_motivation,
+    fig03_throughput,
+    fig04_latency,
+    fig05_loss,
+    fig06_speed,
+    fig07_parallelism,
+    fig08_area,
+    fig09_coverage,
+    fig10_mptcp_box,
+    fig11_mptcp_trace,
+)
+
+#: Experiment id -> (module, description).
+REGISTRY = {
+    "fig1": (fig01_motivation, "Motivation: 5-network throughput timeline"),
+    "fig3": (fig03_throughput, "Throughput CDFs: TCP/UDP, RM/MOB, UL/DL"),
+    "fig4": (fig04_latency, "UDP-Ping latency CDFs + Equation 1"),
+    "fig5": (fig05_loss, "TCP retransmission rates, UL/DL x 5 networks"),
+    "fig6": (fig06_speed, "Throughput vs vehicle speed (rural)"),
+    "fig7": (fig07_parallelism, "TCP parallelism gains (1/4/8 connections)"),
+    "fig8": (fig08_area, "Throughput by area type"),
+    "fig9": (fig09_coverage, "Performance-coverage shares + combinations"),
+    "fig10": (fig10_mptcp_box, "Single-path vs MPTCP downloads (tuned/untuned)"),
+    "fig11": (fig11_mptcp_trace, "MPTCP vs single-path time series"),
+    "dataset": (dataset_summary, "Campaign totals (Section 3.3)"),
+    "ext-fec": (ext_fec, "Extension: FEC vs TCP vs UDP on Starlink"),
+    "ext-scheduler": (ext_scheduler, "Extension: LEO-aware MPTCP scheduler"),
+    "ext-switching": (ext_switching, "Extension: switching oracle vs reality vs MPTCP"),
+    "ext-video": (ext_video, "Extension: 1080p streaming QoE per network"),
+    "ext-weather": (ext_weather, "Extension: weather sensitivity of Starlink"),
+}
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one experiment by id and return its result object."""
+    if experiment_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; options: {sorted(REGISTRY)}"
+        )
+    module, _ = REGISTRY[experiment_id]
+    return module.run(**kwargs)
+
+
+__all__ = ["REGISTRY", "run_experiment"]

@@ -1,0 +1,90 @@
+"""Extension experiment: oracle switching vs realistic switching vs MPTCP.
+
+Figure 9's combination bars assume zero-effort switching.  This experiment
+prices that assumption: on one drive's aligned traces we compare
+
+* the single best network (no switching),
+* a realistic hysteresis switcher (margin + dwell + reattach outage),
+* the zero-effort oracle (Figure 9's assumption),
+* tuned MPTCP using both paths at once (Section 6's answer).
+
+The expected ordering — best single < switcher < oracle <= MPTCP — is the
+paper's multipath argument made quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fluid import fluid_udp_series
+from repro.core.switching import (
+    SwitchPolicy,
+    hysteresis_switching,
+    oracle_switching,
+)
+from repro.experiments.common import collect_conditions
+from repro.tools.iperf import run_mptcp_test
+
+
+@dataclass
+class SwitchRow:
+    label: str
+    mean_mbps: float
+    switches: int
+
+
+@dataclass
+class ExtSwitchingResult:
+    rows_data: list[SwitchRow]
+
+    def rows(self) -> list[tuple]:
+        return [
+            (r.label, round(r.mean_mbps, 1), r.switches) for r in self.rows_data
+        ]
+
+    def row(self, label: str) -> SwitchRow:
+        for row in self.rows_data:
+            if row.label == label:
+                return row
+        raise KeyError(label)
+
+
+def run(
+    duration_s: int = 120,
+    seed: int = 11,
+    segment_bytes: int = 6000,
+    combo: tuple[str, str] = ("MOB", "VZ"),
+    policy: SwitchPolicy | None = None,
+) -> ExtSwitchingResult:
+    """Price the zero-effort-switching assumption on one drive segment."""
+    traces = collect_conditions(duration_s=duration_s, seed=seed)
+    series = {
+        name: fluid_udp_series(traces[name], downlink=True) for name in combo
+    }
+
+    rows = []
+    best_single = max(series, key=lambda n: float(np.mean(series[n])))
+    rows.append(
+        SwitchRow(
+            f"best single ({best_single})",
+            float(np.mean(series[best_single])),
+            0,
+        )
+    )
+    switched = hysteresis_switching(series, policy)
+    rows.append(
+        SwitchRow("hysteresis switcher", switched.mean_mbps, switched.switches)
+    )
+    oracle = oracle_switching(series)
+    rows.append(SwitchRow("oracle (Fig. 9)", oracle.mean_mbps, oracle.switches))
+    mptcp = run_mptcp_test(
+        {name: traces[name] for name in combo},
+        duration_s=float(duration_s),
+        buffer_segments=8192,
+        segment_bytes=segment_bytes,
+        seed=seed,
+    )
+    rows.append(SwitchRow("MPTCP (tuned)", mptcp.throughput_mbps, 0))
+    return ExtSwitchingResult(rows_data=rows)

@@ -1,0 +1,118 @@
+"""Figure 3: throughput CDFs — TCP vs UDP, Roam vs Mobility, UL vs DL.
+
+Three panels, all from the campaign dataset:
+
+* (a) TCP vs UDP downlink: Starlink TCP collapses to ~1/5 of its UDP
+  throughput (mean 29 vs 128 Mbps in the paper) while cellular TCP tracks
+  cellular UDP;
+* (b) Roam vs Mobility: Mobility roughly doubles Roam
+  (median/mean 197/128 vs 93/63 Mbps);
+* (c) Starlink uplink vs downlink: FDD gives the downlink ~10x the uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import SummaryStats
+from repro.core.dataset import CELLULAR_NETWORKS, DriveDataset
+from repro.experiments.common import campaign_dataset
+
+
+@dataclass
+class CurveData:
+    """One CDF curve: label + raw per-second samples."""
+
+    label: str
+    samples: list[float]
+
+    @property
+    def stats(self) -> SummaryStats:
+        return SummaryStats.from_values(self.samples)
+
+
+@dataclass
+class Figure3Result:
+    """All three panels."""
+
+    panel_a: list[CurveData]  # MOB-TCP, Cellular-TCP, MOB-UDP, Cellular-UDP
+    panel_b: list[CurveData]  # RM-UDP-DL, MOB-UDP-DL
+    panel_c: list[CurveData]  # MOB-UDP-UL, MOB-UDP-DL
+
+    def rows(self) -> list[tuple]:
+        rows = []
+        for panel, curves in (
+            ("3a", self.panel_a),
+            ("3b", self.panel_b),
+            ("3c", self.panel_c),
+        ):
+            for curve in curves:
+                s = curve.stats
+                rows.append(
+                    (panel, curve.label, round(s.mean, 1), round(s.median, 1))
+                )
+        return rows
+
+    @property
+    def tcp_udp_gap(self) -> float:
+        """MOB TCP mean / MOB UDP mean (paper: ~1/5)."""
+        tcp = self.panel_a[0].stats.mean
+        udp = self.panel_a[2].stats.mean
+        return tcp / udp if udp > 0 else float("nan")
+
+    @property
+    def mobility_over_roam(self) -> float:
+        """MOB mean / RM mean, UDP downlink (paper: ~2x)."""
+        rm = self.panel_b[0].stats.mean
+        mob = self.panel_b[1].stats.mean
+        return mob / rm if rm > 0 else float("nan")
+
+    @property
+    def downlink_over_uplink(self) -> float:
+        """MOB DL mean / UL mean (paper: ~10x)."""
+        ul = self.panel_c[0].stats.mean
+        dl = self.panel_c[1].stats.mean
+        return dl / ul if ul > 0 else float("nan")
+
+
+def _pooled(dataset: DriveDataset, networks, protocol, direction) -> list[float]:
+    values: list[float] = []
+    for network in networks:
+        values.extend(
+            dataset.filter(
+                network=network,
+                protocol=protocol,
+                direction=direction,
+                parallel=1,
+            ).throughput_samples()
+        )
+    return values
+
+
+def run(scale: str = "medium", seed: int = 0) -> Figure3Result:
+    """Regenerate Figure 3's data from the campaign dataset."""
+    ds = campaign_dataset(scale, seed)
+    cl = list(CELLULAR_NETWORKS)
+    panel_a = [
+        CurveData("MOB-TCP", _pooled(ds, ["MOB"], "tcp", "dl")),
+        CurveData("Cellular-TCP", _pooled(ds, cl, "tcp", "dl")),
+        CurveData("MOB-UDP", _pooled(ds, ["MOB"], "udp", "dl")),
+        CurveData("Cellular-UDP", _pooled(ds, cl, "udp", "dl")),
+    ]
+    panel_b = [
+        CurveData("RM-UDP-DL", _pooled(ds, ["RM"], "udp", "dl")),
+        CurveData("MOB-UDP-DL", _pooled(ds, ["MOB"], "udp", "dl")),
+    ]
+    panel_c = [
+        CurveData("MOB-UDP-UL", _pooled(ds, ["MOB"], "udp", "ul")),
+        CurveData("MOB-UDP-DL", _pooled(ds, ["MOB"], "udp", "dl")),
+    ]
+    for curves in (panel_a, panel_b, panel_c):
+        for curve in curves:
+            if not curve.samples:
+                raise RuntimeError(
+                    f"campaign produced no samples for {curve.label}"
+                )
+    return Figure3Result(panel_a=panel_a, panel_b=panel_b, panel_c=panel_c)

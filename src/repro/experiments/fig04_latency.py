@@ -1,0 +1,73 @@
+"""Figure 4 (+ Equation 1): UDP-Ping latency CDFs for all five networks.
+
+Paper findings: RTTs cluster in 50-100 ms for every network; Verizon and
+T-Mobile are lowest, AT&T highest; Starlink sits only slightly above the
+good carriers because the 550 km hop adds just ~1.8 ms each way (Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import SummaryStats, cdf_at
+from repro.core.dataset import NETWORKS
+from repro.experiments.common import campaign_dataset
+from repro.leo.geometry import equation1_one_way_latency_ms
+
+
+@dataclass
+class LatencyCurve:
+    """RTT samples for one network."""
+
+    network: str
+    rtt_ms: list[float]
+
+    @property
+    def stats(self) -> SummaryStats:
+        return SummaryStats.from_values(self.rtt_ms)
+
+    @property
+    def share_in_50_100ms(self) -> float:
+        """Fraction of RTTs in the paper's 50-100 ms band."""
+        below_100 = cdf_at(self.rtt_ms, 100.0)
+        below_50 = cdf_at(self.rtt_ms, 50.0)
+        return below_100 - below_50
+
+
+@dataclass
+class Figure4Result:
+    curves: list[LatencyCurve]
+    equation1_ms: float
+
+    def rows(self) -> list[tuple]:
+        rows = [
+            (
+                c.network,
+                round(c.stats.median, 1),
+                round(c.stats.mean, 1),
+                round(c.share_in_50_100ms, 3),
+            )
+            for c in self.curves
+        ]
+        rows.append(("Eq1-one-way", round(self.equation1_ms, 3), "", ""))
+        return rows
+
+    def median(self, network: str) -> float:
+        for curve in self.curves:
+            if curve.network == network:
+                return curve.stats.median
+        raise KeyError(network)
+
+
+def run(scale: str = "medium", seed: int = 0) -> Figure4Result:
+    """Regenerate Figure 4's data from the campaign's UDP-Ping records."""
+    ds = campaign_dataset(scale, seed)
+    curves = []
+    for network in NETWORKS:
+        rtts = ds.filter(network=network, protocol="ping").rtt_samples()
+        if not rtts:
+            raise RuntimeError(f"no ping samples for {network}")
+        curves.append(LatencyCurve(network=network, rtt_ms=rtts))
+    return Figure4Result(
+        curves=curves, equation1_ms=equation1_one_way_latency_ms()
+    )

@@ -1,0 +1,87 @@
+"""Figure 6: impact of vehicle speed on throughput (rural data only).
+
+The paper extracts rural samples (to dodge the urban confound where speed
+limits and obstructions correlate), buckets them by 10 km/h of vehicle
+speed, and finds throughput essentially flat for both Starlink Mobility
+and the cellular carriers — LEO satellites move at 28,000 km/h, so the
+vehicle is stationary by comparison, and cellular handovers are efficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import group_means, speed_bucket
+from repro.core.dataset import CELLULAR_NETWORKS
+from repro.experiments.common import campaign_dataset
+from repro.geo.classify import AreaType
+
+
+@dataclass
+class SpeedSeries:
+    """Mean throughput per speed bucket for one network group."""
+
+    label: str
+    #: bucket (low, high) -> mean Mbps
+    by_bucket: dict[tuple[int, int], float]
+
+    @property
+    def variation_coefficient(self) -> float:
+        """Std/mean across buckets — the flatness metric."""
+        values = np.array(list(self.by_bucket.values()))
+        if values.size == 0 or values.mean() == 0:
+            return float("nan")
+        return float(values.std() / values.mean())
+
+
+@dataclass
+class Figure6Result:
+    starlink: SpeedSeries
+    cellular: SpeedSeries
+
+    def rows(self) -> list[tuple]:
+        buckets = sorted(
+            set(self.starlink.by_bucket) | set(self.cellular.by_bucket)
+        )
+        return [
+            (
+                f"{lo}-{hi}",
+                round(self.starlink.by_bucket.get((lo, hi), float("nan")), 1),
+                round(self.cellular.by_bucket.get((lo, hi), float("nan")), 1),
+            )
+            for lo, hi in buckets
+        ]
+
+
+def _series(label: str, samples) -> SpeedSeries:
+    keys = [speed_bucket(s.speed_kmh) for s in samples]
+    values = [s.throughput_mbps for s in samples]
+    return SpeedSeries(label=label, by_bucket=group_means(keys, values))
+
+
+def run(scale: str = "medium", seed: int = 0) -> Figure6Result:
+    """Regenerate Figure 6 from rural UDP downlink samples."""
+    ds = campaign_dataset(scale, seed)
+    rural = ds.filter(protocol="udp", direction="dl", area=AreaType.RURAL)
+
+    mob_samples = [
+        s
+        for rec in rural.filter(network="MOB").records
+        for s in rec.samples
+        if s.area == AreaType.RURAL
+    ]
+    cl_samples = [
+        s
+        for network in CELLULAR_NETWORKS
+        for rec in rural.filter(network=network).records
+        for s in rec.samples
+        if s.area == AreaType.RURAL
+    ]
+    if not mob_samples or not cl_samples:
+        raise RuntimeError("campaign produced no rural samples")
+    return Figure6Result(
+        starlink=_series("MOB", mob_samples),
+        cellular=_series("Cellular", cl_samples),
+    )

@@ -1,0 +1,71 @@
+"""Figure 8: UDP downlink throughput by area type.
+
+The paper's crossover result: cellular throughput *falls* from urban to
+rural (base-station density follows population) while Starlink *rises*
+(fewer obstructions), making Starlink the better network outside cities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import SummaryStats
+from repro.core.dataset import CELLULAR_NETWORKS
+from repro.experiments.common import campaign_dataset
+from repro.geo.classify import AreaType
+
+
+@dataclass
+class AreaBox:
+    """One box of the figure: a network group in one area type."""
+
+    label: str
+    area: AreaType
+    stats: SummaryStats
+
+
+@dataclass
+class Figure8Result:
+    boxes: list[AreaBox]
+
+    def rows(self) -> list[tuple]:
+        return [
+            (
+                b.label,
+                b.area.value,
+                round(b.stats.median, 1),
+                round(b.stats.mean, 1),
+                round(b.stats.p75, 1),
+            )
+            for b in self.boxes
+        ]
+
+    def median(self, label: str, area: AreaType) -> float:
+        for box in self.boxes:
+            if box.label == label and box.area == area:
+                return box.stats.median
+        raise KeyError((label, area))
+
+
+def run(scale: str = "medium", seed: int = 0) -> Figure8Result:
+    """Regenerate Figure 8 from UDP downlink samples split by area."""
+    ds = campaign_dataset(scale, seed)
+    boxes = []
+    for area in (AreaType.URBAN, AreaType.SUBURBAN, AreaType.RURAL):
+        cellular: list[float] = []
+        for network in CELLULAR_NETWORKS:
+            cellular.extend(
+                ds.filter(
+                    network=network, protocol="udp", direction="dl", area=area
+                ).throughput_samples()
+            )
+        mob = ds.filter(
+            network="MOB", protocol="udp", direction="dl", area=area
+        ).throughput_samples()
+        if not cellular or not mob:
+            raise RuntimeError(f"campaign produced no samples in {area}")
+        boxes.append(
+            AreaBox("Cellular", area, SummaryStats.from_values(cellular))
+        )
+        boxes.append(AreaBox("MOB", area, SummaryStats.from_values(mob)))
+    return Figure8Result(boxes=boxes)

@@ -1,0 +1,42 @@
+"""Figure 9: performance-coverage shares for singles and combinations.
+
+Paper numbers to reproduce in shape: MOB leads with ~60.6 % of samples in
+the high band (>100 Mbps); VZ ~44.4 % and TM ~42.5 % follow; RM and ATT
+trail with ~39.9 % and ~53.5 % of samples at low-or-worse (<50 Mbps); the
+switching combinations (BestCL, RM+CL, MOB+CL) beat their components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coverage import CoverageShares, figure9_shares
+from repro.experiments.common import campaign_dataset
+
+
+@dataclass
+class Figure9Result:
+    bars: list[CoverageShares]
+
+    def rows(self) -> list[tuple]:
+        return [
+            (
+                b.name,
+                round(b.very_low, 3),
+                round(b.low, 3),
+                round(b.medium, 3),
+                round(b.high, 3),
+            )
+            for b in self.bars
+        ]
+
+    def bar(self, name: str) -> CoverageShares:
+        for bar in self.bars:
+            if bar.name == name:
+                return bar
+        raise KeyError(name)
+
+
+def run(scale: str = "medium", seed: int = 0) -> Figure9Result:
+    """Regenerate Figure 9's stacked bars from the campaign dataset."""
+    return Figure9Result(bars=figure9_shares(campaign_dataset(scale, seed)))

@@ -1,0 +1,31 @@
+"""Geography substrate: coordinates, places, routes, mobility, terrain.
+
+Replaces the paper's physical drive campaign (3,800 km across five states)
+with a synthetic but structurally faithful one.
+"""
+
+from repro.geo.classify import AreaClassifier, AreaType, ClassifierThresholds
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.mobility import DriverProfile, MobilitySample, VehicleTrace
+from repro.geo.places import Place, PlaceDatabase, STATE_NAMES
+from repro.geo.routes import Route, RouteGenerator, RoadSegment
+from repro.geo.terrain import ObstructionProcess, ObstructionSample
+
+__all__ = [
+    "AreaClassifier",
+    "AreaType",
+    "ClassifierThresholds",
+    "DriverProfile",
+    "GeoPoint",
+    "MobilitySample",
+    "ObstructionProcess",
+    "ObstructionSample",
+    "Place",
+    "PlaceDatabase",
+    "RoadSegment",
+    "Route",
+    "RouteGenerator",
+    "STATE_NAMES",
+    "VehicleTrace",
+    "haversine_km",
+]

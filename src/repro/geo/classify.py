@@ -1,0 +1,107 @@
+"""Area-type classification: urban / suburban / rural.
+
+Implements the paper's method (Section 5.1): compute the distance from a data
+point to the nearest city or town and apply predetermined thresholds.  The
+effective radius of a place scales with its population, so a metro's urban
+core extends further than a small town's.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.geo.coords import GeoPoint
+from repro.geo.places import Place, PlaceDatabase
+
+
+class AreaType(enum.Enum):
+    """The paper's three area categories."""
+
+    URBAN = "urban"
+    SUBURBAN = "suburban"
+    RURAL = "rural"
+
+
+@dataclass(frozen=True)
+class ClassifierThresholds:
+    """Distance thresholds (km), scaled by place size.
+
+    ``urban_km`` / ``suburban_km`` are the base radii for a reference
+    population of 100k; the radius grows with the cube root of population,
+    which tracks how city footprints scale with population empirically.
+    """
+
+    urban_km: float = 6.0
+    suburban_km: float = 18.0
+    reference_population: int = 100_000
+
+    def scale(self, population: int) -> float:
+        """Footprint scale factor for a place of the given population."""
+        ratio = max(population, 500) / self.reference_population
+        return ratio ** (1.0 / 3.0)
+
+
+class AreaClassifier:
+    """Classify GPS points into urban/suburban/rural against a place DB."""
+
+    def __init__(
+        self,
+        places: PlaceDatabase,
+        thresholds: ClassifierThresholds | None = None,
+    ):
+        self.places = places
+        self.thresholds = thresholds or ClassifierThresholds()
+
+    def classify(self, point: GeoPoint) -> AreaType:
+        """Area type of ``point`` per the paper's nearest-place rule."""
+        place, dist_km = self.places.nearest_distance_km(point)
+        return self.classify_distance(place, dist_km)
+
+    def classify_distance(self, place: Place, dist_km: float) -> AreaType:
+        """Threshold an already-computed nearest-place distance."""
+        scale = self.thresholds.scale(place.population)
+        if dist_km <= self.thresholds.urban_km * scale and place.is_city:
+            return AreaType.URBAN
+        if dist_km <= self.thresholds.suburban_km * scale:
+            return AreaType.SUBURBAN
+        return AreaType.RURAL
+
+    def obstruction_fraction(self, area: AreaType, rng_value: float) -> float:
+        """Fraction of sky obstructed, used by the LEO visibility model.
+
+        Urban areas have tall buildings (the paper: "we found a lot of
+        obstructions only in urban areas"); suburban towns and rural areas
+        have similar, low obstruction.  ``rng_value`` in [0, 1) picks a point
+        within the area's obstruction range.
+        """
+        if not 0.0 <= rng_value < 1.0:
+            raise ValueError(f"rng_value must be in [0, 1), got {rng_value}")
+        low, high = _OBSTRUCTION_RANGE[area]
+        # Skew toward the low end: even urban driving is mostly on open
+        # streets, with occasional canyons.
+        return low + (high - low) * rng_value**2
+
+
+#: (min, max) fraction of the dish field of view blocked per area type.
+_OBSTRUCTION_RANGE: dict[AreaType, tuple[float, float]] = {
+    AreaType.URBAN: (0.10, 0.75),
+    AreaType.SUBURBAN: (0.02, 0.30),
+    AreaType.RURAL: (0.00, 0.22),
+}
+
+
+def obstruction_elevation_mask_deg(obstruction_fraction: float) -> float:
+    """Convert an obstruction fraction into a minimum usable elevation angle.
+
+    A fully open sky needs only the dish's own minimum elevation (handled by
+    the dish model); obstruction raises the effective horizon.  The mapping
+    is monotone and saturates below zenith so some sky always remains.
+    """
+    if not 0.0 <= obstruction_fraction <= 1.0:
+        raise ValueError(
+            f"obstruction_fraction must be in [0, 1], got {obstruction_fraction}"
+        )
+    # 0 -> 0 deg extra mask, 1 -> 70 deg mask (only near-zenith visible).
+    return 70.0 * math.sin(obstruction_fraction * math.pi / 2.0) ** 1.5

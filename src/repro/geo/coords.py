@@ -1,0 +1,115 @@
+"""Geodetic coordinates and distance math on a spherical Earth.
+
+The paper records a GPS (latitude, longitude) for every data point and uses
+point-to-place distances to classify area types (Section 5.1).  A spherical
+Earth is accurate to ~0.5 % for the distances involved, which is far below
+the classification thresholds, so we do not carry a full ellipsoid model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import EARTH_RADIUS_KM
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface (degrees)."""
+
+    lat_deg: float
+    lon_deg: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat_deg <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat_deg}")
+        if not -180.0 <= self.lon_deg <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon_deg}")
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points, in km."""
+    lat1, lon1 = math.radians(a.lat_deg), math.radians(a.lon_deg)
+    lat2, lon2 = math.radians(b.lat_deg), math.radians(b.lon_deg)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def destination_point(origin: GeoPoint, bearing_deg: float, distance_km: float) -> GeoPoint:
+    """Point reached from ``origin`` after ``distance_km`` along ``bearing_deg``.
+
+    Bearing is clockwise from true north.  Used by the route generator to lay
+    out road segments.
+    """
+    ang = distance_km / EARTH_RADIUS_KM
+    brng = math.radians(bearing_deg)
+    lat1 = math.radians(origin.lat_deg)
+    lon1 = math.radians(origin.lon_deg)
+    lat2 = math.asin(
+        math.sin(lat1) * math.cos(ang)
+        + math.cos(lat1) * math.sin(ang) * math.cos(brng)
+    )
+    lon2 = lon1 + math.atan2(
+        math.sin(brng) * math.sin(ang) * math.cos(lat1),
+        math.cos(ang) - math.sin(lat1) * math.sin(lat2),
+    )
+    # Normalize longitude into [-180, 180).
+    lon2_deg = (math.degrees(lon2) + 540.0) % 360.0 - 180.0
+    return GeoPoint(math.degrees(lat2), lon2_deg)
+
+
+def initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
+    """Initial great-circle bearing from ``a`` to ``b`` (degrees from north)."""
+    lat1, lon1 = math.radians(a.lat_deg), math.radians(a.lon_deg)
+    lat2, lon2 = math.radians(b.lat_deg), math.radians(b.lon_deg)
+    dlon = lon2 - lon1
+    x = math.sin(dlon) * math.cos(lat2)
+    y = math.cos(lat1) * math.sin(lat2) - math.sin(lat1) * math.cos(lat2) * math.cos(dlon)
+    return (math.degrees(math.atan2(x, y)) + 360.0) % 360.0
+
+
+def geodetic_to_ecef_km(point: GeoPoint, altitude_km: float = 0.0) -> np.ndarray:
+    """Convert a geodetic point to Earth-centered Earth-fixed coordinates (km).
+
+    Spherical model; the LEO geometry code operates entirely in ECEF.
+    """
+    r = EARTH_RADIUS_KM + altitude_km
+    lat = math.radians(point.lat_deg)
+    lon = math.radians(point.lon_deg)
+    return np.array(
+        [
+            r * math.cos(lat) * math.cos(lon),
+            r * math.cos(lat) * math.sin(lon),
+            r * math.sin(lat),
+        ]
+    )
+
+
+def interpolate(a: GeoPoint, b: GeoPoint, fraction: float) -> GeoPoint:
+    """Linear interpolation between two nearby points.
+
+    Valid for the short (<= a few km) road segments the route generator
+    emits; not a great-circle slerp.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    # Interpolate longitude on the shorter arc to be safe near +-180.
+    dlon = b.lon_deg - a.lon_deg
+    if dlon > 180.0:
+        dlon -= 360.0
+    elif dlon < -180.0:
+        dlon += 360.0
+    lon = a.lon_deg + fraction * dlon
+    lon = (lon + 540.0) % 360.0 - 180.0
+    return GeoPoint(
+        a.lat_deg + fraction * (b.lat_deg - a.lat_deg),
+        lon,
+    )

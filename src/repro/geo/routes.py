@@ -1,0 +1,189 @@
+"""Drive-route generation.
+
+The paper's campaign mixes city streets, town passes, and long interstate
+stretches across five states, with both straight and curved roads.  A
+``Route`` is a polyline of :class:`RoadSegment` s, each carrying a speed
+limit, so the mobility model can produce realistic speed profiles and the
+campaign reaches the paper's area-type mix (~30/34/36 % urban/suburban/rural).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.coords import (
+    GeoPoint,
+    destination_point,
+    haversine_km,
+    initial_bearing_deg,
+    interpolate,
+)
+from repro.geo.places import Place, PlaceDatabase
+from repro.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """A straight piece of road between two nearby points."""
+
+    start: GeoPoint
+    end: GeoPoint
+    speed_limit_kmh: float
+
+    @property
+    def length_km(self) -> float:
+        return haversine_km(self.start, self.end)
+
+
+@dataclass
+class Route:
+    """An ordered list of road segments forming one drive."""
+
+    name: str
+    segments: list[RoadSegment] = field(default_factory=list)
+
+    @property
+    def length_km(self) -> float:
+        return sum(seg.length_km for seg in self.segments)
+
+    def position_at_km(self, dist_km: float) -> GeoPoint:
+        """Point reached after driving ``dist_km`` from the route start."""
+        if dist_km < 0:
+            raise ValueError(f"distance must be non-negative, got {dist_km}")
+        remaining = dist_km
+        for seg in self.segments:
+            if remaining <= seg.length_km:
+                frac = 0.0 if seg.length_km == 0 else remaining / seg.length_km
+                return interpolate(seg.start, seg.end, frac)
+            remaining -= seg.length_km
+        if not self.segments:
+            raise ValueError("route has no segments")
+        return self.segments[-1].end
+
+    def segment_at_km(self, dist_km: float) -> RoadSegment:
+        """The segment containing the position ``dist_km`` into the route."""
+        remaining = dist_km
+        for seg in self.segments:
+            if remaining <= seg.length_km:
+                return seg
+            remaining -= seg.length_km
+        return self.segments[-1]
+
+
+class RouteGenerator:
+    """Builds campaign routes over the synthetic place database."""
+
+    #: Speed limits by road character (km/h).  The paper caps driving at
+    #: 100 km/h, so the interstate limit matches that cap.
+    CITY_LIMIT_KMH = 50.0
+    TOWN_LIMIT_KMH = 70.0
+    INTERSTATE_LIMIT_KMH = 100.0
+
+    def __init__(self, places: PlaceDatabase, rng: RngStreams | None = None):
+        self.places = places
+        self.rng = rng or RngStreams(0)
+
+    def interstate_drive(self, name: str, origin: Place, dest: Place) -> Route:
+        """A long drive between two metros, passing near towns en route.
+
+        Emits: an urban loop near the origin, the interstate with gentle
+        curves, a pass through the destination's outskirts, and an urban
+        loop at the destination.  This ordering yields the urban/suburban/
+        rural mix the paper reports.
+        """
+        gen = self.rng.get(f"geo.route.{name}")
+        route = Route(name=name)
+        route.segments.extend(self._city_loop(origin.location, gen))
+        route.segments.extend(
+            self._highway(origin.location, dest.location, gen)
+        )
+        route.segments.extend(self._city_loop(dest.location, gen))
+        return route
+
+    def ring_road(
+        self,
+        name: str,
+        around: Place,
+        ring_km: float = 25.0,
+        segments: int = 120,
+    ) -> Route:
+        """A beltway-style loop at ``ring_km`` from a place's center.
+
+        Rings sit in the suburban band of a metro (outside the urban core,
+        inside the suburban threshold), which is how the campaign reaches
+        the paper's one-third suburban share.
+        """
+        if ring_km <= 0 or segments < 3:
+            raise ValueError("ring needs a positive radius and >= 3 segments")
+        gen = self.rng.get(f"geo.route.{name}")
+        route = Route(name=name)
+        points = []
+        for i in range(segments + 1):
+            angle = 360.0 * i / segments
+            radius = ring_km + float(gen.uniform(-0.3, 0.3))
+            points.append(
+                destination_point(around.location, angle, max(radius, 1.0))
+            )
+        for a, b in zip(points, points[1:]):
+            route.segments.append(RoadSegment(a, b, self.TOWN_LIMIT_KMH))
+        return route
+
+    def local_loop(self, name: str, around: Place, radius_km: float = 15.0) -> Route:
+        """A city + suburb loop around a single place (urban-heavy drive)."""
+        gen = self.rng.get(f"geo.route.{name}")
+        route = Route(name=name)
+        cursor = around.location
+        bearing = float(gen.uniform(0, 360))
+        for _ in range(30):
+            step = float(gen.uniform(0.5, 2.0))
+            nxt = destination_point(cursor, bearing, step)
+            limit = (
+                self.CITY_LIMIT_KMH
+                if haversine_km(nxt, around.location) < radius_km * 0.4
+                else self.TOWN_LIMIT_KMH
+            )
+            route.segments.append(RoadSegment(cursor, nxt, limit))
+            cursor = nxt
+            bearing = (bearing + float(gen.uniform(-60, 60))) % 360.0
+        return route
+
+    def _city_loop(self, center: GeoPoint, gen: np.random.Generator) -> list[RoadSegment]:
+        """Short urban loop: slow segments with frequent turns."""
+        segments: list[RoadSegment] = []
+        cursor = center
+        bearing = float(gen.uniform(0, 360))
+        for _ in range(6):
+            step = float(gen.uniform(0.4, 1.2))
+            nxt = destination_point(cursor, bearing, step)
+            segments.append(RoadSegment(cursor, nxt, self.CITY_LIMIT_KMH))
+            cursor = nxt
+            bearing = (bearing + float(gen.uniform(-90, 90))) % 360.0
+        return segments
+
+    def _highway(
+        self, origin: GeoPoint, dest: GeoPoint, gen: np.random.Generator
+    ) -> list[RoadSegment]:
+        """Interstate polyline with gentle heading noise (curved roads)."""
+        segments: list[RoadSegment] = []
+        cursor = origin
+        guard = 0
+        while haversine_km(cursor, dest) > 8.0 and guard < 500:
+            guard += 1
+            to_dest = initial_bearing_deg(cursor, dest)
+            bearing = to_dest + float(gen.uniform(-12, 12))
+            step = min(float(gen.uniform(3.0, 9.0)), haversine_km(cursor, dest))
+            nxt = destination_point(cursor, bearing, step)
+            # Occasional town pass: drop to the town limit for one segment.
+            limit = (
+                self.TOWN_LIMIT_KMH
+                if gen.random() < 0.18
+                else self.INTERSTATE_LIMIT_KMH
+            )
+            segments.append(RoadSegment(cursor, nxt, limit))
+            cursor = nxt
+        segments.append(
+            RoadSegment(cursor, dest, self.TOWN_LIMIT_KMH)
+        )
+        return segments

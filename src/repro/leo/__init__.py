@@ -1,0 +1,58 @@
+"""LEO satellite substrate: constellation, geometry, dishes, channel model.
+
+Stands in for the physical Starlink service of the paper's campaign.
+"""
+
+from repro.leo.channel import CLEAR, RAIN, SNOW, StarlinkChannel, WeatherState
+from repro.leo.constellation import Constellation, OrbitalShell, starlink_shell1
+from repro.leo.dish import (
+    DishModel,
+    DishPlan,
+    dish_for_plan,
+    mobility_dish,
+    roam_dish,
+)
+from repro.leo.gateway import Gateway, GatewayNetwork
+from repro.leo.geometry import (
+    LookAngles,
+    equation1_one_way_latency_ms,
+    look_angles,
+    look_angles_many,
+    propagation_delay_ms,
+    slant_range_km,
+)
+from repro.leo.handover import (
+    RECONFIGURATION_INTERVAL_S,
+    HandoverProcess,
+    HandoverState,
+)
+from repro.leo.visibility import VisibilityModel, VisibleSatellite
+
+__all__ = [
+    "CLEAR",
+    "Constellation",
+    "DishModel",
+    "DishPlan",
+    "Gateway",
+    "GatewayNetwork",
+    "HandoverProcess",
+    "HandoverState",
+    "LookAngles",
+    "OrbitalShell",
+    "RAIN",
+    "RECONFIGURATION_INTERVAL_S",
+    "SNOW",
+    "StarlinkChannel",
+    "VisibilityModel",
+    "VisibleSatellite",
+    "WeatherState",
+    "dish_for_plan",
+    "equation1_one_way_latency_ms",
+    "look_angles",
+    "look_angles_many",
+    "mobility_dish",
+    "propagation_delay_ms",
+    "roam_dish",
+    "slant_range_km",
+    "starlink_shell1",
+]

@@ -1,0 +1,95 @@
+"""User-terminal (dish) models for the two Starlink plans the paper tests.
+
+Section 3.1 and 4.1 attribute the Roam-vs-Mobility gap to three mechanisms:
+
+* field of view — the Mobility (flat high-performance) dish has a wider FoV,
+  so it keeps more satellites selectable under partial obstruction;
+* tracking agility — Roam's dish "lacks the ability to adjust its
+  orientation promptly under high mobility";
+* network priority — Mobility is advertised as getting the highest priority
+  during congestion.
+
+Each mechanism is an explicit parameter here, so the ablation bench can turn
+them off one at a time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DishPlan(enum.Enum):
+    """Starlink service plans used in the paper."""
+
+    ROAM = "RM"
+    MOBILITY = "MOB"
+
+
+@dataclass(frozen=True)
+class DishModel:
+    """Physical/contractual parameters of one dish + plan combination."""
+
+    plan: DishPlan
+    #: Minimum usable elevation angle (deg) — narrower FoV means a higher mask.
+    min_elevation_deg: float
+    #: Peak achievable downlink PHY rate under ideal conditions (Mbps).
+    peak_downlink_mbps: float
+    #: Peak achievable uplink PHY rate (Mbps); FDD gives ~1/10 of downlink.
+    peak_uplink_mbps: float
+    #: Throughput multiplier retained while in motion at highway speed.
+    #: Models tracking agility; 1.0 = perfect in-motion tracking.
+    motion_tracking_factor: float
+    #: Scheduler priority weight during cell congestion (>= 1.0).
+    priority_weight: float
+    #: Extra loss probability induced by imperfect tracking while moving.
+    motion_loss_extra: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.motion_tracking_factor <= 1.0:
+            raise ValueError(
+                f"motion_tracking_factor must be in (0, 1], got {self.motion_tracking_factor}"
+            )
+        if self.priority_weight < 1.0:
+            raise ValueError(
+                f"priority_weight must be >= 1, got {self.priority_weight}"
+            )
+        if self.peak_uplink_mbps > self.peak_downlink_mbps:
+            raise ValueError("uplink peak cannot exceed downlink peak (FDD design)")
+
+    def effective_mask_deg(self, obstruction_mask_deg: float) -> float:
+        """Elevation mask after accounting for local obstructions."""
+        return max(self.min_elevation_deg, obstruction_mask_deg)
+
+
+def roam_dish() -> DishModel:
+    """The portable Roam plan dish (standard actuated dish)."""
+    return DishModel(
+        plan=DishPlan.ROAM,
+        min_elevation_deg=25.0,
+        peak_downlink_mbps=285.0,
+        peak_uplink_mbps=28.0,
+        motion_tracking_factor=0.78,
+        priority_weight=1.0,
+        motion_loss_extra=0.004,
+    )
+
+
+def mobility_dish() -> DishModel:
+    """The in-motion Mobility plan dish (flat high-performance)."""
+    return DishModel(
+        plan=DishPlan.MOBILITY,
+        min_elevation_deg=15.0,
+        peak_downlink_mbps=355.0,
+        peak_uplink_mbps=35.0,
+        motion_tracking_factor=0.95,
+        priority_weight=2.0,
+        motion_loss_extra=0.001,
+    )
+
+
+def dish_for_plan(plan: DishPlan) -> DishModel:
+    """Factory keyed on the plan enum."""
+    if plan is DishPlan.ROAM:
+        return roam_dish()
+    return mobility_dish()

@@ -1,0 +1,103 @@
+"""Ground stations (gateways) and points of presence.
+
+Starlink in 2023 was a bent-pipe system in the paper's region: user dish ->
+satellite -> gateway -> PoP -> Internet.  The latency budget therefore adds
+two space hops plus terrestrial backhaul.  We place gateways near the
+synthetic metros (where fiber is) and route each user through the nearest
+gateway that the serving satellite can also see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint, geodetic_to_ecef_km, haversine_km
+from repro.geo.places import PlaceDatabase
+from repro.rng import RngStreams
+from repro.units import SPEED_OF_LIGHT_KM_S
+
+
+@dataclass(frozen=True)
+class Gateway:
+    """One gateway site with its terrestrial backhaul latency to the PoP."""
+
+    name: str
+    location: GeoPoint
+    backhaul_ms: float
+
+
+class GatewayNetwork:
+    """The set of gateways serving the campaign region."""
+
+    def __init__(self, gateways: list[Gateway]):
+        if not gateways:
+            raise ValueError("need at least one gateway")
+        self.gateways = list(gateways)
+        self._ecef = np.vstack(
+            [geodetic_to_ecef_km(g.location) for g in gateways]
+        )
+
+    @classmethod
+    def synthetic(
+        cls, places: PlaceDatabase, rng: RngStreams | None = None
+    ) -> "GatewayNetwork":
+        """One gateway near each city, offset tens of km (real gateways sit
+        outside metros), with 2-8 ms of terrestrial backhaul to the PoP."""
+        rng = rng or RngStreams(0)
+        gen = rng.get("leo.gateway")
+        gateways = []
+        for i, city in enumerate(places.cities()):
+            lat = city.location.lat_deg + float(gen.uniform(-0.4, 0.4))
+            lon = city.location.lon_deg + float(gen.uniform(-0.4, 0.4))
+            gateways.append(
+                Gateway(
+                    name=f"gw-{i}-{city.name}",
+                    location=GeoPoint(lat, lon),
+                    backhaul_ms=float(gen.uniform(2.0, 8.0)),
+                )
+            )
+        return cls(gateways)
+
+    def nearest(self, point: GeoPoint) -> tuple[Gateway, float]:
+        """Nearest gateway to a ground point and its distance (km)."""
+        best_idx = 0
+        best_dist = float("inf")
+        for i, gw in enumerate(self.gateways):
+            d = haversine_km(point, gw.location)
+            if d < best_dist:
+                best_idx, best_dist = i, d
+        return self.gateways[best_idx], best_dist
+
+    def bent_pipe_rtt_ms(
+        self,
+        user: GeoPoint,
+        sat_ecef_km: np.ndarray,
+        scheduling_ms: float = 0.0,
+    ) -> float:
+        """Round-trip time of the bent pipe through the best gateway.
+
+        user->sat->gateway->PoP and back, plus any scheduling delay.  The
+        gateway is chosen to minimize total path length among sites the
+        satellite can plausibly serve (within 1,500 km ground distance).
+        """
+        user_ecef = geodetic_to_ecef_km(user)
+        up_km = float(np.linalg.norm(sat_ecef_km - user_ecef))
+        best_ms = float("inf")
+        for gw, gw_ecef in zip(self.gateways, self._ecef):
+            down_km = float(np.linalg.norm(sat_ecef_km - gw_ecef))
+            ground_km = haversine_km(user, gw.location)
+            if ground_km > 1_500.0:
+                continue
+            one_way_ms = (up_km + down_km) / SPEED_OF_LIGHT_KM_S * 1000.0 + gw.backhaul_ms
+            best_ms = min(best_ms, 2.0 * one_way_ms)
+        if best_ms == float("inf"):
+            # Fall back to the geographically nearest gateway.
+            gw, _ = self.nearest(user)
+            gw_ecef = geodetic_to_ecef_km(gw.location)
+            down_km = float(np.linalg.norm(sat_ecef_km - gw_ecef))
+            best_ms = 2.0 * (
+                (up_km + down_km) / SPEED_OF_LIGHT_KM_S * 1000.0 + gw.backhaul_ms
+            )
+        return best_ms + scheduling_ms

@@ -1,0 +1,97 @@
+"""Satellite visibility under dish field-of-view and local obstruction.
+
+Combines three masks: the dish's own minimum elevation (plan-dependent field
+of view), the obstruction-driven raised horizon (urban canyons), and random
+azimuthal blockage sectors (a building blocks a wedge of sky, not a uniform
+ring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.classify import obstruction_elevation_mask_deg
+from repro.geo.coords import GeoPoint
+from repro.leo.constellation import Constellation
+from repro.leo.dish import DishModel
+from repro.leo.geometry import look_angles_many
+
+
+@dataclass(frozen=True)
+class VisibleSatellite:
+    """One usable satellite candidate."""
+
+    index: int
+    elevation_deg: float
+    azimuth_deg: float
+    slant_range_km: float
+
+
+class VisibilityModel:
+    """Computes the usable satellite set for a (position, time, sky state)."""
+
+    def __init__(self, constellation: Constellation):
+        self.constellation = constellation
+
+    def visible_satellites(
+        self,
+        observer: GeoPoint,
+        time_s: float,
+        dish: DishModel,
+        obstruction_fraction: float = 0.0,
+        blocked_sectors: list[tuple[float, float]] | None = None,
+        max_candidates: int = 8,
+    ) -> list[VisibleSatellite]:
+        """Usable satellites, best (highest elevation) first.
+
+        ``blocked_sectors`` is a list of (azimuth_start, azimuth_end) wedges
+        (degrees) that obstructions remove entirely; wedge blockage only
+        applies below 60 deg elevation, since near-zenith paths clear
+        buildings.
+        """
+        positions = self.constellation.positions_ecef_km(time_s)
+        elev, azim, rng = look_angles_many(observer, positions)
+        mask = dish.effective_mask_deg(
+            obstruction_elevation_mask_deg(obstruction_fraction)
+        )
+        usable = elev >= mask
+        if blocked_sectors:
+            for start, end in blocked_sectors:
+                in_wedge = _azimuth_in_sector(azim, start, end)
+                usable &= ~(in_wedge & (elev < 60.0))
+        idx = np.nonzero(usable)[0]
+        if idx.size == 0:
+            return []
+        order = idx[np.argsort(-elev[idx])][:max_candidates]
+        return [
+            VisibleSatellite(
+                index=int(i),
+                elevation_deg=float(elev[i]),
+                azimuth_deg=float(azim[i]),
+                slant_range_km=float(rng[i]),
+            )
+            for i in order
+        ]
+
+    @staticmethod
+    def random_blocked_sectors(
+        obstruction_fraction: float, gen: np.random.Generator
+    ) -> list[tuple[float, float]]:
+        """Draw azimuth wedges whose total width tracks the obstruction level."""
+        total_deg = 360.0 * obstruction_fraction
+        sectors: list[tuple[float, float]] = []
+        while total_deg > 1.0 and len(sectors) < 6:
+            width = float(gen.uniform(20.0, min(120.0, max(21.0, total_deg))))
+            start = float(gen.uniform(0.0, 360.0))
+            sectors.append((start, (start + width) % 360.0))
+            total_deg -= width
+        return sectors
+
+
+def _azimuth_in_sector(azim: np.ndarray, start: float, end: float) -> np.ndarray:
+    """Membership test for an azimuth wedge that may wrap through 0 deg."""
+    if start <= end:
+        return (azim >= start) & (azim <= end)
+    return (azim >= start) | (azim <= end)

@@ -1,0 +1,32 @@
+"""Flow demultiplexing: share one path among several transport flows.
+
+Parallel iPerf (Figure 7) runs N TCP connections over the same physical
+link; the demux routes delivered packets to the right flow by ``flow_id``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.packet import Packet
+
+
+class Demux:
+    """Routes packets to per-flow handlers by ``flow_id``."""
+
+    def __init__(self):
+        self._handlers: dict[int, Callable[[Packet], None]] = {}
+
+    def register(self, flow_id: int, handler: Callable[[Packet], None]) -> None:
+        if flow_id in self._handlers:
+            raise ValueError(f"flow {flow_id} already registered")
+        self._handlers[flow_id] = handler
+
+    def __call__(self, packet: Packet) -> None:
+        handler = self._handlers.get(packet.flow_id)
+        if handler is None:
+            raise KeyError(f"no handler for flow {packet.flow_id}")
+        handler(packet)
+
+    def __len__(self) -> int:
+        return len(self._handlers)

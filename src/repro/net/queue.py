@@ -1,0 +1,56 @@
+"""Drop-tail byte-bounded FIFO queue (the bottleneck buffer of a link)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.net.packet import Packet
+
+
+class DropTailQueue:
+    """FIFO with a byte capacity; arrivals beyond capacity are dropped."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError(
+                f"queue capacity must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._queue: deque[Packet] = deque()
+        self.bytes_queued = 0
+        self.drops = 0
+        self.enqueues = 0
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue; returns False (and counts a drop) when full."""
+        if self.bytes_queued + packet.size_bytes > self.capacity_bytes:
+            self.drops += 1
+            return False
+        self._queue.append(packet)
+        self.bytes_queued += packet.size_bytes
+        self.enqueues += 1
+        return True
+
+    def pop(self) -> Packet | None:
+        """Dequeue the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self.bytes_queued -= packet.size_bytes
+        return packet
+
+    def peek(self) -> Packet | None:
+        """Head packet without removing it."""
+        return self._queue[0] if self._queue else None
+
+    def clear(self) -> None:
+        """Drop everything (link reset)."""
+        self._queue.clear()
+        self.bytes_queued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue

@@ -1,0 +1,86 @@
+"""Minimal discrete-event simulator.
+
+A binary-heap event loop with stable FIFO ordering for simultaneous events.
+All transport and link code in :mod:`repro.transport` and :mod:`repro.emu`
+runs on top of this loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class Simulator:
+    """Event loop: schedule callbacks at absolute or relative times."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._stopped = False
+
+    def schedule(self, delay_s: float, callback: Callable[[], None]) -> "EventHandle":
+        """Run ``callback`` after ``delay_s`` seconds of simulated time."""
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        return self.schedule_at(self.now + delay_s, callback)
+
+    def schedule_at(self, time_s: float, callback: Callable[[], None]) -> "EventHandle":
+        """Run ``callback`` at absolute simulated time ``time_s``."""
+        if time_s < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time_s} < now {self.now}"
+            )
+        handle = EventHandle(callback)
+        heapq.heappush(self._heap, (time_s, next(self._counter), handle))
+        return handle
+
+    def run(self, until_s: float | None = None) -> None:
+        """Process events until the heap drains or time exceeds ``until_s``."""
+        self._stopped = False
+        while self._heap and not self._stopped:
+            time_s, _, handle = self._heap[0]
+            if until_s is not None and time_s > until_s:
+                break
+            heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time_s
+            handle.fire()
+        if until_s is not None and self.now < until_s:
+            self.now = until_s
+
+    def stop(self) -> None:
+        """Halt :meth:`run` after the current event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled queued events."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+
+class EventHandle:
+    """Cancellation token for a scheduled event (e.g. a retransmit timer)."""
+
+    __slots__ = ("_callback", "cancelled")
+
+    def __init__(self, callback: Callable[[], None]):
+        self._callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def fire(self) -> None:
+        if not self.cancelled:
+            self._callback()
+
+    # Heap entries compare on (time, counter); the handle must never be
+    # compared, but heapq requires orderability when ties occur without a
+    # counter.  The counter guarantees uniqueness, so any comparison that
+    # reaches the handle indicates a bug.
+    def __lt__(self, other: object) -> bool:  # pragma: no cover
+        raise TypeError("EventHandle ordering should never be needed")

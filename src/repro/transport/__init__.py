@@ -1,0 +1,40 @@
+"""Transport protocols implemented packet-by-packet on the simulator."""
+
+from repro.transport.congestion import (
+    CongestionControl,
+    Cubic,
+    Reno,
+    make_congestion_control,
+)
+from repro.transport.fec import (
+    FecConfig,
+    FecReceiver,
+    FecSender,
+    FecStats,
+    open_fec_flow,
+)
+from repro.transport.parallel import ParallelStats, ParallelTcp
+from repro.transport.tcp import TcpReceiver, TcpSender, TcpStats, open_tcp_connection
+from repro.transport.udp import UdpReceiver, UdpSender, UdpStats, open_udp_flow
+
+__all__ = [
+    "CongestionControl",
+    "Cubic",
+    "FecConfig",
+    "FecReceiver",
+    "FecSender",
+    "FecStats",
+    "ParallelStats",
+    "ParallelTcp",
+    "Reno",
+    "TcpReceiver",
+    "TcpSender",
+    "TcpStats",
+    "UdpReceiver",
+    "UdpSender",
+    "UdpStats",
+    "make_congestion_control",
+    "open_fec_flow",
+    "open_tcp_connection",
+    "open_udp_flow",
+]

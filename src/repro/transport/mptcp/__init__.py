@@ -1,0 +1,31 @@
+"""MPTCP: multipath transport over simulated Starlink + cellular paths."""
+
+from repro.transport.mptcp.connection import (
+    MptcpConnection,
+    MptcpReceiver,
+    MptcpStats,
+    Subflow,
+    open_mptcp_connection,
+)
+from repro.transport.mptcp.scheduler import (
+    Blest,
+    MinRtt,
+    RoundRobin,
+    SatAware,
+    Scheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "Blest",
+    "MinRtt",
+    "MptcpConnection",
+    "MptcpReceiver",
+    "MptcpStats",
+    "RoundRobin",
+    "SatAware",
+    "Scheduler",
+    "Subflow",
+    "make_scheduler",
+    "open_mptcp_connection",
+]

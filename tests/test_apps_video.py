@@ -1,0 +1,72 @@
+"""Video QoE model."""
+
+import pytest
+
+from repro.apps.video import (
+    DEFAULT_LADDER_MBPS,
+    HD_1080P_INDEX,
+    PlayerConfig,
+    evaluate_network,
+    play_video,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PlayerConfig(ladder_mbps=())
+    with pytest.raises(ValueError):
+        PlayerConfig(ladder_mbps=(5.0, 1.0))
+    with pytest.raises(ValueError):
+        PlayerConfig(target_buffer_s=5.0, panic_buffer_s=5.0)
+
+
+def test_fast_network_plays_top_rendition():
+    session = play_video([100.0] * 300)
+    assert session.rebuffer_s == 0.0
+    assert session.time_at_or_above(len(DEFAULT_LADDER_MBPS) - 1) > 0.8
+    assert session.startup_delay_s <= 3.0
+
+
+def test_slow_network_stays_low():
+    session = play_video([1.5] * 300)
+    assert session.time_at_or_above(HD_1080P_INDEX) < 0.1
+    assert session.mean_bitrate_mbps < 2.5
+
+
+def test_dead_network_rebuffers():
+    series = [50.0] * 60 + [0.0] * 60 + [50.0] * 60
+    session = play_video(series)
+    assert session.rebuffer_s > 10.0
+    assert session.rebuffer_ratio > 0.05
+
+
+def test_buffer_rides_out_short_outage():
+    """A 5 s gap is absorbed by a 20 s buffer with no stall."""
+    series = [50.0] * 60 + [0.0] * 5 + [50.0] * 60
+    session = play_video(series)
+    assert session.rebuffer_s == 0.0
+
+
+def test_negative_throughput_rejected():
+    with pytest.raises(ValueError):
+        play_video([10.0, -1.0])
+
+
+def test_verdict_thresholds():
+    good = evaluate_network("X", [100.0] * 300)
+    assert good.supports_hd
+    bad = evaluate_network("Y", [1.0] * 300)
+    assert not bad.supports_hd
+
+
+def test_mean_bitrate_accounting():
+    session = play_video([100.0] * 120)
+    assert session.mean_bitrate_mbps <= max(DEFAULT_LADDER_MBPS)
+    assert session.mean_bitrate_mbps > 5.0
+
+
+def test_played_plus_rebuffer_accounts_time():
+    series = [30.0] * 100
+    session = play_video(series)
+    total = session.played_s + session.rebuffer_s + session.startup_delay_s
+    assert total == pytest.approx(100.0)

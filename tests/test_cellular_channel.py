@@ -1,0 +1,95 @@
+"""Cellular channel model behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cellular.channel import CellularChannel
+from repro.cellular.carriers import att, tmobile, verizon
+from repro.geo.classify import AreaType
+from repro.geo.coords import GeoPoint
+from repro.rng import RngStreams
+
+POSITION = GeoPoint(44.0, -91.0)
+
+
+def run_channel(carrier_factory, seconds=600, area=AreaType.SUBURBAN, seed=0, speed=70.0):
+    channel = CellularChannel(carrier_factory(), RngStreams(seed))
+    return [
+        channel.sample(float(t), POSITION, speed, area) for t in range(seconds)
+    ]
+
+
+def test_samples_well_formed():
+    for s in run_channel(verizon, 300):
+        assert s.downlink_mbps >= 0.0
+        assert s.uplink_mbps >= 0.0
+        assert 0.0 <= s.loss_rate <= 1.0
+
+
+def test_urban_beats_rural():
+    """Figure 8's cellular trend: throughput falls toward rural areas."""
+    urban = run_channel(verizon, area=AreaType.URBAN, seed=1)
+    rural = run_channel(verizon, area=AreaType.RURAL, seed=1)
+    assert np.mean([s.downlink_mbps for s in urban]) > np.mean(
+        [s.downlink_mbps for s in rural]
+    )
+
+
+def test_att_weaker_than_verizon():
+    a = run_channel(att, area=AreaType.RURAL, seed=2)
+    v = run_channel(verizon, area=AreaType.RURAL, seed=2)
+    assert np.mean([s.downlink_mbps for s in a]) < np.mean(
+        [s.downlink_mbps for s in v]
+    )
+
+
+def test_rtt_ordering_matches_paper():
+    """Figure 4: VZ and TM lowest, ATT highest."""
+    rtts = {}
+    for name, factory in (("ATT", att), ("TM", tmobile), ("VZ", verizon)):
+        samples = [s for s in run_channel(factory, seed=3) if not s.is_outage]
+        rtts[name] = np.median([s.rtt_ms for s in samples])
+    assert rtts["ATT"] > rtts["TM"]
+    assert rtts["ATT"] > rtts["VZ"]
+
+
+def test_rtt_mostly_in_50_100_band():
+    samples = [s for s in run_channel(tmobile, seed=4) if not s.is_outage]
+    rtts = np.array([s.rtt_ms for s in samples])
+    assert 40.0 <= np.median(rtts) <= 100.0
+
+
+def test_loss_tiny_compared_to_starlink():
+    """Figure 5: cellular loss is far below Starlink's 0.3-1.3 %."""
+    samples = [s for s in run_channel(verizon, seed=5) if not s.is_outage]
+    assert np.mean([s.loss_rate for s in samples]) < 0.002
+
+
+def test_coverage_holes_more_common_rurally():
+    rural = run_channel(att, 3000, area=AreaType.RURAL, seed=6)
+    urban = run_channel(att, 3000, area=AreaType.URBAN, seed=6)
+    assert np.mean([s.is_outage for s in rural]) > np.mean(
+        [s.is_outage for s in urban]
+    )
+
+
+def test_uplink_below_downlink_on_average():
+    samples = [s for s in run_channel(verizon, seed=7) if not s.is_outage]
+    assert np.mean([s.uplink_mbps for s in samples]) < np.mean(
+        [s.downlink_mbps for s in samples]
+    )
+
+
+def test_reset_clears_hole_state():
+    channel = CellularChannel(verizon(), RngStreams(8))
+    for t in range(200):
+        channel.sample(float(t), POSITION, 50.0, AreaType.RURAL)
+    channel.reset()
+    assert channel._band is None
+    assert channel._hole_until_s == -1.0
+
+
+def test_deterministic_per_seed():
+    a = [s.downlink_mbps for s in run_channel(verizon, 100, seed=9)]
+    b = [s.downlink_mbps for s in run_channel(verizon, 100, seed=9)]
+    assert a == b

@@ -1,0 +1,187 @@
+"""Cellular substrate: carriers, deployment, propagation, capacity."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cellular.capacity import (
+    BAND_BANDWIDTH_MHZ,
+    CellLoad,
+    UPLINK_FRACTION,
+    achievable_rate,
+    draw_band,
+)
+from repro.cellular.carriers import (
+    ALL_CARRIERS,
+    BAND_PEAK_DL_MBPS,
+    Band,
+    att,
+    carrier_by_short_name,
+    tmobile,
+    verizon,
+)
+from repro.cellular.deployment import ServingCellTracker, nearest_site_distance_km
+from repro.cellular.propagation import (
+    CorrelatedShadowing,
+    path_loss_db,
+    shannon_efficiency,
+    snr_db,
+)
+from repro.geo.classify import AreaType
+
+
+def test_carrier_lookup():
+    assert carrier_by_short_name("ATT").name == "AT&T"
+    assert carrier_by_short_name("TM").name == "T-Mobile"
+    assert carrier_by_short_name("VZ").name == "Verizon"
+    with pytest.raises(KeyError):
+        carrier_by_short_name("SPRINT")
+
+
+def test_band_mixes_sum_to_one():
+    for short in ALL_CARRIERS:
+        carrier = carrier_by_short_name(short)
+        for mix in carrier.band_mix.values():
+            assert sum(mix.values()) == pytest.approx(1.0)
+
+
+def test_deployment_density_follows_population():
+    """Section 5.1's mechanism: urban sites are denser than rural ones."""
+    for short in ALL_CARRIERS:
+        carrier = carrier_by_short_name(short)
+        assert (
+            carrier.site_density[AreaType.URBAN]
+            > carrier.site_density[AreaType.SUBURBAN]
+            > carrier.site_density[AreaType.RURAL]
+        )
+
+
+def test_att_is_the_weak_carrier():
+    """Paper: AT&T has the highest latency and worst coverage of the three."""
+    assert att().core_rtt_ms > max(tmobile().core_rtt_ms, verizon().core_rtt_ms)
+    assert att().hole_probability[AreaType.RURAL] >= max(
+        tmobile().hole_probability[AreaType.RURAL],
+        verizon().hole_probability[AreaType.RURAL],
+    )
+    assert att().site_density[AreaType.RURAL] <= min(
+        tmobile().site_density[AreaType.RURAL],
+        verizon().site_density[AreaType.RURAL],
+    )
+
+
+def test_nearest_site_distance_scales_with_density():
+    gen = np.random.default_rng(0)
+    dense = [nearest_site_distance_km(3.0, gen) for _ in range(2000)]
+    sparse = [nearest_site_distance_km(0.03, gen) for _ in range(2000)]
+    assert np.mean(dense) < np.mean(sparse)
+    # Rayleigh mean: 0.5 / sqrt(density).
+    assert np.mean(dense) == pytest.approx(0.5 / math.sqrt(3.0), rel=0.1)
+
+
+def test_nearest_site_distance_rejects_bad_density():
+    with pytest.raises(ValueError):
+        nearest_site_distance_km(0.0, np.random.default_rng(0))
+
+
+def test_serving_cell_tracker_handovers():
+    gen = np.random.default_rng(1)
+    tracker = ServingCellTracker(verizon(), gen)
+    for _ in range(600):
+        d = tracker.step(AreaType.URBAN, 60.0)
+        assert d > 0.0
+    assert tracker.handover_count > 1
+
+
+def test_serving_cell_tracker_reattach_on_area_change():
+    gen = np.random.default_rng(2)
+    tracker = ServingCellTracker(verizon(), gen)
+    tracker.step(AreaType.URBAN, 50.0)
+    count = tracker.handover_count
+    tracker.step(AreaType.RURAL, 50.0)
+    assert tracker.handover_count == count + 1
+
+
+def test_path_loss_monotone():
+    losses = [path_loss_db(d) for d in (0.1, 0.5, 1.0, 3.0, 10.0)]
+    assert losses == sorted(losses)
+
+
+def test_path_loss_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        path_loss_db(0.0)
+
+
+def test_snr_decreases_with_distance():
+    gen = np.random.default_rng(3)
+    near = np.mean([snr_db(0.2, gen) for _ in range(500)])
+    far = np.mean([snr_db(5.0, gen) for _ in range(500)])
+    assert near > far
+
+
+def test_shannon_efficiency_monotone_and_capped():
+    values = [shannon_efficiency(s) for s in (-10.0, 0.0, 10.0, 20.0, 60.0)]
+    assert values == sorted(values)
+    assert values[-1] == 7.4
+    assert values[0] > 0.0
+
+
+def test_correlated_shadowing_is_correlated():
+    gen = np.random.default_rng(4)
+    process = CorrelatedShadowing(gen)
+    series = [process.step(30.0) for _ in range(500)]
+    lag1 = np.corrcoef(series[:-1], series[1:])[0, 1]
+    assert lag1 > 0.5
+
+
+def test_shadowing_decorrelates_faster_at_speed():
+    slow = CorrelatedShadowing(np.random.default_rng(5))
+    fast = CorrelatedShadowing(np.random.default_rng(5))
+    s_series = [slow.step(10.0) for _ in range(800)]
+    f_series = [fast.step(120.0) for _ in range(800)]
+    lag_slow = np.corrcoef(s_series[:-1], s_series[1:])[0, 1]
+    lag_fast = np.corrcoef(f_series[:-1], f_series[1:])[0, 1]
+    assert lag_slow > lag_fast
+
+
+def test_achievable_rate_band_ordering():
+    dl_lte, _ = achievable_rate(Band.LTE, 20.0, 0.6)
+    dl_mid, _ = achievable_rate(Band.MID_BAND_5G, 20.0, 0.6)
+    assert dl_mid > dl_lte
+
+
+def test_achievable_rate_caps_at_band_peak():
+    dl, ul = achievable_rate(Band.LTE, 60.0, 1.0)
+    assert dl == BAND_PEAK_DL_MBPS[Band.LTE]
+    assert ul <= dl
+
+
+def test_achievable_rate_uplink_fraction():
+    dl, ul = achievable_rate(Band.MID_BAND_5G, 15.0, 0.5)
+    assert ul < dl * UPLINK_FRACTION * 1.5
+
+
+def test_achievable_rate_rejects_bad_share():
+    with pytest.raises(ValueError):
+        achievable_rate(Band.LTE, 10.0, 0.0)
+
+
+def test_draw_band_respects_mix():
+    gen = np.random.default_rng(6)
+    mix = {Band.LTE: 0.8, Band.LOW_BAND_5G: 0.2, Band.MID_BAND_5G: 0.0}
+    draws = [draw_band(mix, gen) for _ in range(1000)]
+    assert draws.count(Band.MID_BAND_5G) == 0
+    assert 0.7 < draws.count(Band.LTE) / 1000 < 0.9
+
+
+def test_cell_load_busier_in_cities():
+    gen = np.random.default_rng(7)
+    load = CellLoad(gen)
+    urban = np.mean([1.0 - load.step(AreaType.URBAN) for _ in range(500)])
+    load2 = CellLoad(np.random.default_rng(7))
+    rural = np.mean([1.0 - load2.step(AreaType.RURAL) for _ in range(500)])
+    assert urban > rural
+
+
+def test_bandwidths_defined_for_all_bands():
+    assert set(BAND_BANDWIDTH_MHZ) == set(Band)

@@ -1,0 +1,29 @@
+"""The ``python -m repro.experiments`` entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_list_mode(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out
+    assert "fig10" in out
+
+
+def test_run_small_experiment(capsys):
+    assert main(["dataset", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "tests" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig2"])
+
+
+def test_duration_passthrough(capsys):
+    assert main(["fig1", "--duration", "120", "--seed", "11"]) == 0
+    out = capsys.readouterr().out
+    assert "MOB" in out

@@ -1,0 +1,53 @@
+"""The shared LinkConditions sample type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.conditions import LinkConditions, outage
+
+
+def test_valid_sample():
+    s = LinkConditions(0.0, 100.0, 10.0, 50.0, 0.01, loss_burst=20.0)
+    assert not s.is_outage
+    assert s.capacity_mbps(True) == 100.0
+    assert s.capacity_mbps(False) == 10.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LinkConditions(0.0, -1.0, 10.0, 50.0, 0.0)
+    with pytest.raises(ValueError):
+        LinkConditions(0.0, 10.0, 10.0, -1.0, 0.0)
+    with pytest.raises(ValueError):
+        LinkConditions(0.0, 10.0, 10.0, 50.0, 1.5)
+    with pytest.raises(ValueError):
+        LinkConditions(0.0, 10.0, 10.0, 50.0, 0.0, loss_burst=0.5)
+
+
+def test_outage_factory():
+    s = outage(5.0)
+    assert s.is_outage
+    assert s.time_s == 5.0
+    assert s.loss_rate == 1.0
+    assert s.downlink_mbps == 0.0
+
+
+def test_outage_requires_both_directions_dead():
+    s = LinkConditions(0.0, 0.0, 5.0, 50.0, 0.0)
+    assert not s.is_outage
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e4),
+    st.floats(min_value=0.0, max_value=1e3),
+)
+def test_capacity_accessor_consistent(dl, ul):
+    s = LinkConditions(0.0, dl, ul, 50.0, 0.0)
+    assert s.capacity_mbps(True) == dl
+    assert s.capacity_mbps(False) == ul
+
+
+def test_frozen():
+    s = outage(0.0)
+    with pytest.raises(AttributeError):
+        s.downlink_mbps = 5.0

@@ -1,0 +1,97 @@
+"""Congestion-control algorithms in isolation."""
+
+import pytest
+
+from repro.transport.congestion import Cubic, Reno, make_congestion_control
+
+
+def test_factory():
+    assert isinstance(make_congestion_control("reno"), Reno)
+    assert isinstance(make_congestion_control("cubic"), Cubic)
+    with pytest.raises(KeyError):
+        make_congestion_control("bbr")
+
+
+def test_reno_slow_start_doubles_per_window():
+    cc = Reno()
+    start = cc.cwnd
+    cc.on_ack(int(start), 0.05, 0.0)
+    assert cc.cwnd == pytest.approx(2 * start)
+
+
+def test_reno_congestion_avoidance_linear():
+    cc = Reno()
+    cc.ssthresh = 10.0
+    cc.cwnd = 10.0
+    cc.on_ack(10, 0.05, 0.0)
+    assert cc.cwnd == pytest.approx(11.0)
+
+
+def test_reno_halves_on_loss():
+    cc = Reno()
+    cc.cwnd = 100.0
+    cc.on_loss(1.0)
+    assert cc.cwnd == pytest.approx(50.0)
+    assert cc.ssthresh == pytest.approx(50.0)
+
+
+def test_reno_rto_uses_flightsize():
+    cc = Reno()
+    cc.cwnd = 10.0
+    cc.on_rto(1.0, inflight=900)
+    assert cc.cwnd == 2.0
+    assert cc.ssthresh == pytest.approx(450.0)
+
+
+def test_ack_growth_capped_at_window():
+    """A cumulative ACK covering a filled hole must not explode the window."""
+    for cc in (Reno(), Cubic()):
+        cc.ssthresh = 5.0
+        cc.cwnd = 5.0
+        before = cc.cwnd
+        cc.on_ack(10_000, 0.05, 10.0)
+        assert cc.cwnd <= 2.1 * before
+
+
+def test_cubic_beta_on_loss():
+    cc = Cubic()
+    cc.cwnd = 100.0
+    cc.on_loss(1.0)
+    assert cc.cwnd == pytest.approx(70.0)
+
+
+def test_cubic_regrows_toward_wmax():
+    cc = Cubic()
+    cc.cwnd = 100.0
+    cc.ssthresh = 100.0
+    cc.on_loss(0.0)
+    low = cc.cwnd
+    now = 0.0
+    for _ in range(400):
+        now += 0.05
+        cc.on_ack(int(cc.cwnd), 0.05, now)
+    assert cc.cwnd > low
+    assert cc.cwnd > 95.0  # back near the old peak within ~20 s
+
+
+def test_cubic_fast_convergence():
+    cc = Cubic()
+    cc.cwnd = 100.0
+    cc.on_loss(0.0)
+    first_wmax = cc._w_max
+    cc.on_loss(1.0)  # second loss below the old peak
+    assert cc._w_max < first_wmax
+
+
+def test_min_cwnd_floor():
+    for cc in (Reno(), Cubic()):
+        for _ in range(20):
+            cc.on_loss(0.0)
+        assert cc.cwnd >= 2.0
+
+
+def test_zero_ack_noop():
+    cc = Cubic()
+    before = cc.cwnd
+    cc.on_ack(0, 0.05, 0.0)
+    assert cc.cwnd == before

@@ -1,0 +1,103 @@
+"""Campaign orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig, TestKind, run_campaign
+from repro.core.dataset import NETWORKS
+from repro.geo.classify import AreaType
+
+
+@pytest.fixture(scope="module")
+def smoke_dataset():
+    return run_campaign(CampaignConfig.smoke(seed=3))
+
+
+def test_all_networks_tested_simultaneously(smoke_dataset):
+    by_window = {}
+    for rec in smoke_dataset.records:
+        key = (rec.drive_id, rec.samples[0].time_s if rec.samples else -1)
+        by_window.setdefault(key, set()).add(rec.network)
+    for networks in by_window.values():
+        assert networks == set(NETWORKS)
+
+
+def test_cycle_produces_all_test_kinds(smoke_dataset):
+    kinds = {
+        (rec.protocol, rec.direction, rec.parallel)
+        for rec in smoke_dataset.records
+    }
+    assert ("udp", "dl", 1) in kinds
+    assert ("tcp", "dl", 1) in kinds
+    assert ("udp", "ul", 1) in kinds
+    assert ("ping", "dl", 1) in kinds
+
+
+def test_sample_metadata_joined(smoke_dataset):
+    rec = smoke_dataset.records[0]
+    assert rec.samples
+    for s in rec.samples:
+        assert -90 <= s.lat_deg <= 90
+        assert s.speed_kmh >= 0.0
+        assert isinstance(s.area, AreaType)
+
+
+def test_campaign_totals(smoke_dataset):
+    assert smoke_dataset.distance_km > 1.0
+    assert smoke_dataset.trace_minutes > 10.0
+    assert sum(smoke_dataset.area_proportions.values()) == pytest.approx(1.0)
+
+
+def test_ping_records_have_zero_throughput(smoke_dataset):
+    pings = smoke_dataset.filter(protocol="ping")
+    assert pings.num_tests > 0
+    assert all(s.throughput_mbps == 0.0 for r in pings.records for s in r.samples)
+    assert any(s.rtt_ms > 0 for r in pings.records for s in r.samples)
+
+
+def test_tcp_records_have_retransmission_rates(smoke_dataset):
+    tcp = smoke_dataset.filter(protocol="tcp")
+    rates = [r.retransmission_rate for r in tcp.records]
+    assert all(0.0 <= r <= 1.0 for r in rates)
+    starlink = smoke_dataset.filter(protocol="tcp", network="MOB")
+    cellular = smoke_dataset.filter(protocol="tcp", network="VZ")
+    assert np.mean([r.retransmission_rate for r in starlink.records]) > np.mean(
+        [r.retransmission_rate for r in cellular.records]
+    )
+
+
+def test_campaign_reproducible():
+    a = run_campaign(CampaignConfig.smoke(seed=9))
+    b = run_campaign(CampaignConfig.smoke(seed=9))
+    assert a.num_tests == b.num_tests
+    va = a.filter(network="MOB", protocol="udp", direction="dl").throughput_samples()
+    vb = b.filter(network="MOB", protocol="udp", direction="dl").throughput_samples()
+    assert va == vb
+
+
+def test_different_seeds_differ():
+    a = run_campaign(CampaignConfig.smoke(seed=9))
+    b = run_campaign(CampaignConfig.smoke(seed=10))
+    va = a.filter(network="MOB", protocol="udp", direction="dl").throughput_samples()
+    vb = b.filter(network="MOB", protocol="udp", direction="dl").throughput_samples()
+    assert va != vb
+
+
+def test_custom_cycle():
+    config = CampaignConfig.smoke(seed=1)
+    config.cycle = (TestKind("udp", "dl"),)
+    ds = run_campaign(config)
+    assert {r.protocol for r in ds.records} == {"udp"}
+
+
+def test_city_drive_config():
+    config = CampaignConfig(
+        seed=2,
+        num_interstate_drives=0,
+        num_city_drives=1,
+        max_drive_seconds=300.0,
+        test_duration_s=30.0,
+        window_period_s=40.0,
+    )
+    ds = run_campaign(config)
+    assert ds.num_tests > 0

@@ -1,0 +1,117 @@
+"""Performance levels and coverage combination analysis."""
+
+import pytest
+
+from repro.core.coverage import (
+    PerformanceLevel,
+    best_of,
+    classify_level,
+    coverage_shares,
+    figure9_shares,
+)
+from repro.core.dataset import DriveDataset, SecondSample, TestRecord
+from repro.geo.classify import AreaType
+
+
+def test_classify_level_bands():
+    """The paper's exact thresholds: <20, 20-50, 50-100, >100 Mbps."""
+    assert classify_level(0.0) is PerformanceLevel.VERY_LOW
+    assert classify_level(19.9) is PerformanceLevel.VERY_LOW
+    assert classify_level(20.0) is PerformanceLevel.LOW
+    assert classify_level(49.9) is PerformanceLevel.LOW
+    assert classify_level(50.0) is PerformanceLevel.MEDIUM
+    assert classify_level(99.9) is PerformanceLevel.MEDIUM
+    assert classify_level(100.0) is PerformanceLevel.HIGH
+    assert classify_level(500.0) is PerformanceLevel.HIGH
+
+
+def test_classify_level_rejects_negative():
+    with pytest.raises(ValueError):
+        classify_level(-1.0)
+
+
+def test_coverage_shares_sum_to_one():
+    shares = coverage_shares("X", [5.0, 30.0, 75.0, 150.0, 250.0])
+    total = shares.very_low + shares.low + shares.medium + shares.high
+    assert total == pytest.approx(1.0)
+    assert shares.high == pytest.approx(0.4)
+    assert shares.low_or_worse == pytest.approx(0.4)
+
+
+def test_coverage_shares_rejects_empty():
+    with pytest.raises(ValueError):
+        coverage_shares("X", [])
+
+
+def _sample(t, mbps):
+    return SecondSample(
+        time_s=t,
+        throughput_mbps=mbps,
+        rtt_ms=50.0,
+        loss_rate=0.0,
+        speed_kmh=80.0,
+        area=AreaType.RURAL,
+        lat_deg=44.0,
+        lon_deg=-93.0,
+    )
+
+
+def _window_dataset():
+    """One simultaneous window across the five networks + a second window."""
+    records = []
+    values = {
+        "ATT": [10.0, 10.0],
+        "TM": [60.0, 60.0],
+        "VZ": [30.0, 120.0],
+        "RM": [80.0, 5.0],
+        "MOB": [150.0, 40.0],
+    }
+    for window, t0 in enumerate((0.0, 100.0)):
+        for i, (network, series) in enumerate(values.items()):
+            records.append(
+                TestRecord(
+                    test_id=window * 5 + i,
+                    drive_id=0,
+                    network=network,
+                    protocol="udp",
+                    direction="dl",
+                    parallel=1,
+                    samples=[_sample(t0 + k, v) for k, v in enumerate(series)],
+                )
+            )
+    return DriveDataset(records)
+
+
+def test_best_of_is_pointwise_max():
+    ds = _window_dataset()
+    best = best_of(ds, ["ATT", "TM", "VZ"])
+    # Per second: max(10,60,30)=60 then max(10,60,120)=120, twice (2 windows).
+    assert best == [60.0, 120.0, 60.0, 120.0]
+
+
+def test_best_of_combination_with_starlink():
+    ds = _window_dataset()
+    best = best_of(ds, ["MOB", "ATT", "TM", "VZ"])
+    # Starlink lifts the first second of each window (150 > 60).
+    assert best == [150.0, 120.0, 150.0, 120.0]
+
+
+def test_figure9_order_and_improvement():
+    ds = _window_dataset()
+    bars = figure9_shares(ds)
+    names = [b.name for b in bars]
+    assert names == ["ATT", "TM", "VZ", "BestCL", "RM", "RM+CL", "MOB", "MOB+CL"]
+    best_cl = next(b for b in bars if b.name == "BestCL")
+    att = next(b for b in bars if b.name == "ATT")
+    assert best_cl.high >= att.high
+    mob_cl = next(b for b in bars if b.name == "MOB+CL")
+    mob = next(b for b in bars if b.name == "MOB")
+    assert mob_cl.high >= mob.high
+
+
+def test_best_of_skips_incomplete_windows():
+    ds = _window_dataset()
+    # Remove one VZ record: that window can no longer be combined.
+    ds = DriveDataset([r for r in ds.records if not (r.network == "VZ" and r.test_id >= 5)])
+    best = best_of(ds, ["ATT", "TM", "VZ"])
+    assert len(best) == 2  # only the first window remains

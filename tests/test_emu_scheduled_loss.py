@@ -1,0 +1,54 @@
+"""ScheduledLossTraceLink: per-second loss replay, and MpShell loss flag."""
+
+import numpy as np
+import pytest
+
+from repro.conditions import LinkConditions
+from repro.emu.mpshell import MpShell, ScheduledLossTraceLink
+from repro.emu.traces import conditions_to_opportunities_ms
+from repro.net.link import ConditionsSchedule
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+
+
+def make_samples():
+    """5 s clean, 5 s at 30 % loss."""
+    samples = []
+    for t in range(10):
+        loss = 0.3 if t >= 5 else 0.0
+        samples.append(LinkConditions(float(t), 12.0, 1.2, 40.0, loss))
+    return samples
+
+
+def test_scheduled_loss_follows_the_second():
+    samples = make_samples()
+    sim = Simulator()
+    link = ScheduledLossTraceLink(
+        schedule=ConditionsSchedule(samples),
+        sim=sim,
+        opportunities_ms=conditions_to_opportunities_ms(samples),
+        one_way_delay_ms=1.0,
+        buffer_bytes=50_000_000,
+        rng=np.random.default_rng(0),
+    )
+    received = []
+    link.connect(lambda p: received.append(p.seq))
+    # Pace at the link rate (1000 pkts/s at 12 Mbps).
+    for i in range(10_000):
+        sim.schedule_at(i * 0.001, lambda i=i: link.send(Packet(flow_id=0, size_bytes=1500, seq=i)))
+    sim.run(until_s=10.5)
+    first_half = [s for s in received if s < 5000]
+    second_half = [s for s in received if s >= 5000]
+    assert len(first_half) / 5000 > 0.98  # clean seconds
+    assert 0.55 <= len(second_half) / 5000 <= 0.85  # ~30 % lost
+
+
+def test_mpshell_replay_loss_flag():
+    lossy = [
+        LinkConditions(float(t), 12.0, 1.2, 40.0, 0.2, loss_burst=5.0)
+        for t in range(5)
+    ]
+    with_loss = MpShell(seed=1).add_interface("a", lossy, replay_loss=True)
+    without = MpShell(seed=1).add_interface("a", lossy, replay_loss=False)
+    assert with_loss.forward_link.loss_rate == pytest.approx(0.2)
+    assert without.forward_link.loss_rate == 0.0

@@ -1,0 +1,117 @@
+"""End-to-end experiment modules (small scale).
+
+Each test regenerates one paper figure at reduced scale and asserts the
+*shape* of the paper's result — who wins, roughly by what factor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+from repro.geo.classify import AreaType
+
+SCALE = "small"
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_experiment("fig3", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_experiment("fig9", scale=SCALE)
+
+
+def test_registry_complete():
+    expected = {
+        "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "dataset", "ext-fec", "ext-scheduler", "ext-switching", "ext-video", "ext-weather",
+    }
+    assert set(REGISTRY) == expected
+    with pytest.raises(KeyError):
+        run_experiment("fig2")
+
+
+def test_dataset_summary_shape():
+    result = run_experiment("dataset", scale=SCALE)
+    assert result.num_tests > 50
+    assert result.distance_km > 5.0
+    assert sum(result.area_proportions.values()) == pytest.approx(1.0)
+    rows = result.rows()
+    assert any(r[0] == "tests" for r in rows)
+
+
+def test_fig1_networks_alternate():
+    result = run_experiment("fig1", duration_s=400, seed=11)
+    assert set(result.series_mbps) == {"RM", "MOB", "ATT", "TM", "VZ"}
+    assert all(len(s) == 400 for s in result.series_mbps.values())
+    # The motivation: neither side wins everywhere.
+    assert 0.05 < result.starlink_wins_fraction < 0.95
+    assert result.lead_changes > 5
+
+
+def test_fig3a_starlink_tcp_collapses(fig3):
+    """Starlink UDP >> Starlink TCP; cellular gap far smaller."""
+    assert fig3.tcp_udp_gap < 0.5
+    cellular_tcp = fig3.panel_a[1].stats.mean
+    cellular_udp = fig3.panel_a[3].stats.mean
+    assert cellular_tcp / cellular_udp > 2.0 * fig3.tcp_udp_gap
+
+
+def test_fig3b_mobility_roughly_double_roam(fig3):
+    assert 1.3 <= fig3.mobility_over_roam <= 4.0
+
+
+def test_fig3c_downlink_near_10x_uplink(fig3):
+    assert 6.0 <= fig3.downlink_over_uplink <= 14.0
+
+
+def test_fig4_latency_ordering():
+    result = run_experiment("fig4", scale=SCALE)
+    assert result.equation1_ms == pytest.approx(1.835, abs=0.01)
+    assert result.median("ATT") > result.median("VZ")
+    assert result.median("ATT") > result.median("TM")
+    # Starlink close to (not wildly above) cellular: within 2x of VZ.
+    assert result.median("MOB") < 2.0 * result.median("VZ")
+    # Everything lives in the tens-of-ms regime.
+    for curve in result.curves:
+        assert 30.0 <= curve.stats.median <= 120.0
+
+
+def test_fig6_speed_flat():
+    result = run_experiment("fig6", scale=SCALE)
+    assert result.starlink.variation_coefficient < 0.5
+    assert result.cellular.variation_coefficient < 0.5
+    # The small campaign's rural driving is interstate-speed only, so at
+    # least the two highway buckets must be populated (medium+ has more).
+    assert len(result.rows()) >= 2
+
+
+def test_fig8_area_crossover():
+    result = run_experiment("fig8", scale=SCALE)
+    # Cellular: urban >= rural.  Starlink: rural >= urban.
+    cell_urban = result.median("Cellular", AreaType.URBAN)
+    cell_rural = result.median("Cellular", AreaType.RURAL)
+    mob_urban = result.median("MOB", AreaType.URBAN)
+    mob_rural = result.median("MOB", AreaType.RURAL)
+    assert cell_urban > cell_rural
+    assert mob_rural > mob_urban
+
+
+def test_fig9_shares_and_combinations(fig9):
+    bars = {b.name: b for b in fig9.bars}
+    assert set(bars) == {
+        "ATT", "TM", "VZ", "BestCL", "RM", "RM+CL", "MOB", "MOB+CL"
+    }
+    # ATT is the weakest cellular carrier.
+    assert bars["ATT"].high <= min(bars["TM"].high, bars["VZ"].high)
+    # Combinations beat their components (the paper's Section 5.2 takeaway).
+    assert bars["BestCL"].high >= max(
+        bars["ATT"].high, bars["TM"].high, bars["VZ"].high
+    )
+    assert bars["MOB+CL"].high >= max(bars["MOB"].high, bars["BestCL"].high)
+    assert bars["RM+CL"].high >= bars["RM"].high
+    # MOB leads the singles.
+    singles = ["ATT", "TM", "VZ", "RM", "MOB"]
+    assert bars["MOB"].high == max(bars[n].high for n in singles)

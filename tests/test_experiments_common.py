@@ -1,0 +1,73 @@
+"""Shared experiment fixtures."""
+
+import pytest
+
+from repro.conditions import LinkConditions
+from repro.core.dataset import NETWORKS
+from repro.experiments.common import (
+    campaign_dataset,
+    collect_conditions,
+    config_for_scale,
+    mean_capacity_mbps,
+)
+
+
+def test_config_scales():
+    small = config_for_scale("small")
+    medium = config_for_scale("medium")
+    paper = config_for_scale("paper")
+    # Total simulated drive time grows with scale.
+    small_total = small.num_interstate_drives * small.max_drive_seconds
+    medium_total = (
+        medium.num_interstate_drives + medium.num_city_drives
+    ) * medium.max_drive_seconds
+    assert small_total < medium_total
+    assert paper.max_drive_seconds is None  # full routes
+    assert paper.num_interstate_drives > medium.num_interstate_drives
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError):
+        config_for_scale("galactic")
+
+
+def test_campaign_dataset_memoized():
+    a = campaign_dataset("small", 0)
+    b = campaign_dataset("small", 0)
+    assert a is b
+
+
+def test_collect_conditions_aligned():
+    traces = collect_conditions(duration_s=30, seed=3)
+    assert set(traces) == set(NETWORKS)
+    lengths = {len(v) for v in traces.values()}
+    assert lengths == {30}
+    # Same timestamps across networks (the paper's alignment).
+    t_mob = [s.time_s for s in traces["MOB"]]
+    t_vz = [s.time_s for s in traces["VZ"]]
+    assert t_mob == t_vz
+
+
+def test_collect_conditions_subset_networks():
+    traces = collect_conditions(duration_s=10, seed=3, networks=("MOB", "VZ"))
+    assert set(traces) == {"MOB", "VZ"}
+
+
+def test_collect_conditions_unknown_network():
+    with pytest.raises(KeyError):
+        collect_conditions(duration_s=10, seed=3, networks=("MOB", "SPRINT"))
+
+
+def test_collect_conditions_route_too_short():
+    with pytest.raises(ValueError):
+        collect_conditions(duration_s=100, seed=3, skip_s=10_000_000)
+
+
+def test_mean_capacity():
+    samples = [
+        LinkConditions(0.0, 100.0, 10.0, 50.0, 0.0),
+        LinkConditions(1.0, 50.0, 5.0, 50.0, 0.0),
+    ]
+    assert mean_capacity_mbps(samples) == 75.0
+    assert mean_capacity_mbps(samples, downlink=False) == 7.5
+    assert mean_capacity_mbps([]) == 0.0

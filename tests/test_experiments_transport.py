@@ -1,0 +1,68 @@
+"""Transport-level experiment modules (packet simulator; slower).
+
+Reduced durations keep these within unit-test budgets while preserving the
+paper's qualitative results.  Seeds pin known-representative drive
+segments (see fig modules' defaults).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_experiment("fig5", duration_s=60, seed=3, segment_bytes=6000)
+
+
+def test_fig5_starlink_lossier_than_cellular(fig5):
+    """Figure 5: Starlink retransmission rates dominate cellular ones."""
+    assert fig5.starlink_mean > 1.5 * fig5.cellular_mean
+    assert 0.002 <= fig5.starlink_mean <= 0.06
+
+
+def test_fig5_has_all_bars(fig5):
+    assert len(fig5.bars) == 10  # 5 networks x {ul, dl}
+    for bar in fig5.bars:
+        assert 0.0 <= bar.retransmission_rate <= 0.2
+
+
+def test_fig7_parallelism_starlink_gains_more():
+    result = run_experiment(
+        "fig7", duration_s=60, seed=3, segment_bytes=6000, repeats=1
+    )
+    rm = result.row("RM")
+    vz = result.row("VZ")
+    # Parallelism helps Starlink substantially (paper: >50 % at 4P).
+    assert rm.improvement(8) > 25.0
+    # And helps Starlink more than cellular.
+    assert rm.improvement(8) > vz.improvement(8)
+
+
+def test_fig10_mptcp_beats_singles_when_tuned():
+    result = run_experiment(
+        "fig10", duration_s=120, seed=11, segment_bytes=6000, repeats=1,
+        combos=("MOB+VZ",),
+    )
+    tuned = result.box("MOB+VZ tuned").mean
+    untuned = result.box("MOB+VZ untuned").mean
+    best_single = max(result.box("MOB").mean, result.box("VZ").mean)
+    assert tuned > best_single  # aggregation wins
+    assert tuned > untuned  # the paper's buffer-tuning effect
+    assert 0.3 <= result.utilization("MOB+VZ") <= 1.0
+
+
+def test_fig11_mptcp_tracks_best_path():
+    result = run_experiment(
+        "fig11", duration_s=120, seed=11, segment_bytes=6000,
+        combos=("MOB+VZ",),
+    )
+    panel = result.panel("MOB+VZ")
+    assert set(panel.series) == {"MOB", "VZ", "MPTCP"}
+    assert panel.mptcp_at_least_best_fraction > 0.5
+    mptcp_mean = np.mean(panel.series["MPTCP"])
+    best_single_mean = max(
+        np.mean(panel.series["MOB"]), np.mean(panel.series["VZ"])
+    )
+    assert mptcp_mean > 0.9 * best_single_mean

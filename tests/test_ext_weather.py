@@ -1,0 +1,38 @@
+"""Weather-sensitivity extension experiment."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.leo.channel import CLEAR, RAIN, SNOW
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("ext-weather", duration_s=240, seed=3)
+
+
+def test_weather_states_ordered(result):
+    clear = result.row("clear")
+    rain = result.row("rain")
+    snow = result.row("snow")
+    # Attenuation ordering: clear > rain > snow capacity.
+    assert clear.mean_mbps > rain.mean_mbps > snow.mean_mbps
+    # Rain/snow add loss.
+    assert rain.mean_loss > clear.mean_loss
+    assert snow.mean_loss > rain.mean_loss
+
+
+def test_weather_impact_moderate_not_catastrophic(result):
+    """Section 3.3's implicit finding: weather changes performance but does
+    not break the service (the paper folds it into minor factors)."""
+    clear = result.row("clear")
+    snow = result.row("snow")
+    assert snow.mean_mbps > 0.5 * clear.mean_mbps
+    # Obstruction/outage pattern is geometry-driven, not weather-driven.
+    assert snow.outage_share == pytest.approx(clear.outage_share, abs=0.05)
+
+
+def test_weather_state_constants():
+    assert CLEAR.capacity_factor == 1.0
+    assert SNOW.capacity_factor < RAIN.capacity_factor < 1.0
+    assert CLEAR.extra_loss == 0.0

@@ -1,0 +1,98 @@
+"""FEC transport: the paper's suggested fix for Starlink loss."""
+
+import numpy as np
+import pytest
+
+from repro.net import FixedConditions, Path, Simulator
+from repro.net.link import bdp_bytes
+from repro.transport import FecConfig, open_fec_flow, open_tcp_connection
+
+
+def fixed_path(sim, rate=100.0, delay_ms=30.0, loss=0.0, burst=1.0, seed=0):
+    fwd = FixedConditions(rate, delay_ms, loss, burst)
+    rev = FixedConditions(max(rate / 10.0, 1.0), delay_ms)
+    buf = max(2 * bdp_bytes(rate, 2 * delay_ms), 64 * 1500)
+    return Path(sim, fwd, rev, buf, np.random.default_rng(seed))
+
+
+def run_fec(rate_mbps, duration=30.0, loss=0.0, burst=1.0, config=None, seed=0):
+    sim = Simulator()
+    path = fixed_path(sim, rate=100.0, loss=loss, burst=burst, seed=seed)
+    sender, receiver = open_fec_flow(
+        sim, path, rate_mbps, config=config
+    )
+    sender.start()
+    sim.run(until_s=duration)
+    receiver.finalize(sender.stats.blocks_sent)
+    return sender, receiver
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FecConfig(data_segments=0)
+    with pytest.raises(ValueError):
+        FecConfig(repair_segments=-1)
+    assert FecConfig(20, 4).overhead == pytest.approx(4 / 24)
+
+
+def test_clean_link_all_blocks_intact():
+    sender, receiver = run_fec(30.0)
+    assert sender.stats.blocks_lost == 0
+    assert sender.stats.blocks_recovered == 0
+    assert sender.stats.blocks_intact > 0
+
+
+def test_wire_rate_includes_overhead():
+    sender, _ = run_fec(30.0, duration=10.0)
+    wire_mbps = sender.stats.segments_sent * 1500 * 8 / 1e6 / 10.0
+    assert wire_mbps == pytest.approx(30.0 / (1.0 - FecConfig().overhead), rel=0.05)
+
+
+def test_repairs_random_loss():
+    """2 % i.i.d. loss with r=4/k=20: virtually every block recovers."""
+    sender, receiver = run_fec(30.0, loss=0.02, seed=1)
+    total = sender.stats.blocks_sent
+    assert sender.stats.block_loss_rate < 0.02
+    assert sender.stats.blocks_recovered > 0
+    assert sender.stats.data_bytes_delivered > 0.95 * total * 20 * 1500 * 0.9
+
+
+def test_no_repair_segments_means_no_recovery():
+    config = FecConfig(data_segments=20, repair_segments=0)
+    sender, _ = run_fec(30.0, loss=0.02, config=config, seed=2)
+    # Any single loss kills a block: with ~2 % loss and 20-segment blocks,
+    # about a third of blocks should be incomplete.
+    assert sender.stats.block_loss_rate > 0.15
+    assert sender.stats.blocks_recovered == 0
+
+
+def test_bursty_loss_defeats_small_blocks_less_than_iid_rate_suggests():
+    """Starlink-style bursts: whole blocks die, the rest are untouched —
+    block loss ~ burst arrival rate, not per-packet loss."""
+    sender, _ = run_fec(30.0, loss=0.02, burst=40.0, seed=3)
+    assert sender.stats.block_loss_rate < 0.25
+
+
+def test_fec_beats_tcp_on_starlink_like_loss():
+    """The paper's motivation: at Starlink-like bursty loss, rate-based FEC
+    sustains goodput that loss-driven TCP cannot."""
+    loss, burst = 0.006, 60.0
+    sim = Simulator()
+    path = fixed_path(sim, rate=100.0, loss=loss, burst=burst, seed=4)
+    tcp_sender, tcp_receiver = open_tcp_connection(sim, path)
+    tcp_sender.start()
+    sim.run(until_s=40.0)
+    tcp_mbps = tcp_receiver.bytes_received * 8 / 1e6 / 40.0
+
+    fec_sender, fec_receiver = run_fec(
+        70.0, duration=40.0, loss=loss, burst=burst, seed=4
+    )
+    fec_mbps = fec_sender.stats.data_bytes_delivered * 8 / 1e6 / 40.0
+    assert fec_mbps > 1.5 * tcp_mbps
+
+
+def test_rejects_bad_rate():
+    sim = Simulator()
+    path = fixed_path(sim)
+    with pytest.raises(ValueError):
+        open_fec_flow(sim, path, 0.0)

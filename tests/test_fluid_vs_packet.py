@@ -1,0 +1,89 @@
+"""Cross-validation: the fluid TCP model vs the packet-level simulator.
+
+The campaign-scale figures use the fluid model; the transport figures use
+the packet simulator.  These tests pin the two implementations to agree on
+the regimes the paper's findings live in, so conclusions do not depend on
+which fidelity level produced them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conditions import LinkConditions, outage
+from repro.core.fluid import fluid_tcp_series, fluid_udp_series
+from repro.tools.iperf import run_tcp_test, run_udp_test
+
+
+def flat(rate, seconds=90, rtt=50.0, loss=0.0, burst=1.0):
+    return [
+        LinkConditions(float(t), rate, rate / 10.0, rtt, loss, loss_burst=burst)
+        for t in range(seconds)
+    ]
+
+
+def agree(fluid_value, packet_value, rel=0.5):
+    """Same order of magnitude and direction; fluid is a 1 Hz abstraction,
+    so the tolerance is deliberately loose."""
+    assert packet_value > 0
+    ratio = fluid_value / packet_value
+    assert (1 - rel) <= ratio <= 1.0 / (1 - rel), (fluid_value, packet_value)
+
+
+def test_udp_agreement_clean():
+    tr = flat(rate=80.0)
+    fluid = np.mean(fluid_udp_series(tr))
+    packet = run_udp_test(tr, duration_s=60.0).throughput_mbps
+    agree(fluid, packet, rel=0.1)
+
+
+def test_udp_agreement_lossy():
+    tr = flat(rate=80.0, loss=0.05)
+    fluid = np.mean(fluid_udp_series(tr))
+    packet = run_udp_test(tr, duration_s=60.0, seed=1).throughput_mbps
+    agree(fluid, packet, rel=0.15)
+
+
+def test_tcp_agreement_clean():
+    tr = flat(rate=60.0)
+    fluid = np.mean(fluid_tcp_series(tr, seed=2))
+    packet = run_tcp_test(tr, duration_s=90.0, seed=2).throughput_mbps
+    agree(fluid, packet, rel=0.35)
+
+
+def test_tcp_agreement_bursty_loss():
+    """The Starlink regime: moderate loss in large bursts."""
+    tr = flat(rate=150.0, seconds=150, rtt=60.0, loss=0.004, burst=80.0)
+    fluid = np.mean(fluid_tcp_series(tr, seed=3))
+    packet = run_tcp_test(tr, duration_s=150.0, seed=3).throughput_mbps
+    agree(fluid, packet, rel=0.6)
+
+
+def test_tcp_agreement_with_outages():
+    tr = []
+    for t in range(120):
+        if t % 30 in (20, 21, 22, 23):
+            tr.append(outage(float(t)))
+        else:
+            tr.append(LinkConditions(float(t), 100.0, 10.0, 50.0, 0.001, loss_burst=40.0))
+    fluid = np.mean(fluid_tcp_series(tr, seed=4))
+    packet = run_tcp_test(tr, duration_s=120.0, seed=4).throughput_mbps
+    agree(fluid, packet, rel=0.6)
+
+
+def test_both_models_rank_networks_identically():
+    """Whatever the absolute gaps, both fidelity levels must order a good
+    cellular channel above a lossy Starlink channel for TCP, and the
+    reverse when the Starlink channel has more capacity for UDP."""
+    cellularish = flat(rate=120.0, seconds=120, rtt=50.0, loss=0.00002, burst=4.0)
+    starlinkish = flat(rate=200.0, seconds=120, rtt=60.0, loss=0.005, burst=80.0)
+
+    fluid_cell_tcp = np.mean(fluid_tcp_series(cellularish, seed=5))
+    fluid_star_tcp = np.mean(fluid_tcp_series(starlinkish, seed=5))
+    pkt_cell_tcp = run_tcp_test(cellularish, duration_s=120.0, seed=5).throughput_mbps
+    pkt_star_tcp = run_tcp_test(starlinkish, duration_s=120.0, seed=5).throughput_mbps
+    assert fluid_cell_tcp > fluid_star_tcp
+    assert pkt_cell_tcp > pkt_star_tcp
+
+    fluid_cell_udp = np.mean(fluid_udp_series(cellularish))
+    fluid_star_udp = np.mean(fluid_udp_series(starlinkish))
+    assert fluid_star_udp > fluid_cell_udp

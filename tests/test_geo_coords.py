@@ -1,0 +1,111 @@
+"""Spherical geometry: distances, bearings, ECEF."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.coords import (
+    GeoPoint,
+    destination_point,
+    geodetic_to_ecef_km,
+    haversine_km,
+    initial_bearing_deg,
+    interpolate,
+)
+from repro.units import EARTH_RADIUS_KM
+
+lat_st = st.floats(min_value=-85.0, max_value=85.0)
+lon_st = st.floats(min_value=-179.0, max_value=179.0)
+
+
+def test_geopoint_validation():
+    with pytest.raises(ValueError):
+        GeoPoint(91.0, 0.0)
+    with pytest.raises(ValueError):
+        GeoPoint(0.0, 200.0)
+
+
+def test_haversine_zero():
+    p = GeoPoint(45.0, -93.0)
+    assert haversine_km(p, p) == 0.0
+
+
+def test_haversine_known_distance():
+    # Minneapolis to Chicago is ~570 km.
+    msp = GeoPoint(44.98, -93.26)
+    chi = GeoPoint(41.88, -87.63)
+    assert haversine_km(msp, chi) == pytest.approx(570.0, rel=0.05)
+
+
+def test_haversine_symmetric():
+    a, b = GeoPoint(44.0, -93.0), GeoPoint(42.0, -87.0)
+    assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+
+@given(lat_st, lon_st, st.floats(min_value=0.1, max_value=500.0),
+       st.floats(min_value=0.0, max_value=359.9))
+def test_destination_distance_consistency(lat, lon, dist, bearing):
+    origin = GeoPoint(lat, lon)
+    dest = destination_point(origin, bearing, dist)
+    assert haversine_km(origin, dest) == pytest.approx(dist, rel=0.01)
+
+
+def test_bearing_north():
+    a = GeoPoint(40.0, -90.0)
+    b = GeoPoint(41.0, -90.0)
+    assert initial_bearing_deg(a, b) == pytest.approx(0.0, abs=0.5)
+
+
+def test_bearing_east():
+    a = GeoPoint(0.0, 0.0)
+    b = GeoPoint(0.0, 1.0)
+    assert initial_bearing_deg(a, b) == pytest.approx(90.0, abs=0.5)
+
+
+def test_ecef_surface_radius():
+    p = GeoPoint(37.0, -122.0)
+    assert np.linalg.norm(geodetic_to_ecef_km(p)) == pytest.approx(
+        EARTH_RADIUS_KM
+    )
+
+
+def test_ecef_altitude():
+    p = GeoPoint(0.0, 0.0)
+    v = geodetic_to_ecef_km(p, altitude_km=550.0)
+    assert np.linalg.norm(v) == pytest.approx(EARTH_RADIUS_KM + 550.0)
+    # At (0, 0) everything is on the x axis.
+    assert v[1] == pytest.approx(0.0, abs=1e-6)
+    assert v[2] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_interpolate_endpoints():
+    a, b = GeoPoint(40.0, -90.0), GeoPoint(41.0, -89.0)
+    assert interpolate(a, b, 0.0) == a
+    assert interpolate(a, b, 1.0).lat_deg == pytest.approx(41.0)
+
+
+def test_interpolate_midpoint():
+    a, b = GeoPoint(40.0, -90.0), GeoPoint(42.0, -88.0)
+    mid = interpolate(a, b, 0.5)
+    assert mid.lat_deg == pytest.approx(41.0)
+    assert mid.lon_deg == pytest.approx(-89.0)
+
+
+def test_interpolate_bad_fraction():
+    a, b = GeoPoint(40.0, -90.0), GeoPoint(41.0, -89.0)
+    with pytest.raises(ValueError):
+        interpolate(a, b, 1.5)
+
+
+def test_interpolate_across_dateline():
+    a, b = GeoPoint(0.0, 179.5), GeoPoint(0.0, -179.5)
+    mid = interpolate(a, b, 0.5)
+    assert abs(mid.lon_deg) == pytest.approx(180.0, abs=0.01)
+
+
+@given(lat_st, lon_st)
+def test_ecef_round_latitude_sign(lat, lon):
+    v = geodetic_to_ecef_km(GeoPoint(lat, lon))
+    assert math.copysign(1.0, v[2]) == math.copysign(1.0, lat) or lat == 0.0

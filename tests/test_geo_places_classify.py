@@ -1,0 +1,112 @@
+"""Place database and the paper's area-type classifier."""
+
+import pytest
+
+from repro.geo.classify import (
+    AreaClassifier,
+    AreaType,
+    ClassifierThresholds,
+    obstruction_elevation_mask_deg,
+)
+from repro.geo.coords import GeoPoint, destination_point
+from repro.geo.places import STATE_NAMES, Place, PlaceDatabase
+from repro.rng import RngStreams
+
+
+@pytest.fixture(scope="module")
+def places():
+    return PlaceDatabase.synthetic(RngStreams(0))
+
+
+def test_synthetic_database_covers_five_states(places):
+    states = {p.state for p in places.places}
+    assert states == set(STATE_NAMES)
+    assert len(STATE_NAMES) == 5
+
+
+def test_each_state_has_a_metro(places):
+    for state in STATE_NAMES:
+        metros = [
+            p for p in places.places if p.state == state and p.is_city
+        ]
+        assert len(metros) >= 2  # metro + secondary city
+
+
+def test_nearest_distance_at_place_is_zero(places):
+    place = places.places[0]
+    nearest, dist = places.nearest_distance_km(place.location)
+    assert nearest is place
+    assert dist == pytest.approx(0.0, abs=1e-6)
+
+
+def test_nearest_distance_monotone(places):
+    metro = places.cities()[0]
+    near = destination_point(metro.location, 90.0, 2.0)
+    far = destination_point(metro.location, 90.0, 5.0)
+    _, d_near = places.nearest_distance_km(near)
+    _, d_far = places.nearest_distance_km(far)
+    assert d_near <= d_far + 1e-9
+
+
+def test_empty_database_rejected():
+    with pytest.raises(ValueError):
+        PlaceDatabase([])
+
+
+def test_classifier_metro_center_is_urban(places):
+    classifier = AreaClassifier(places)
+    metro = max(places.places, key=lambda p: p.population)
+    assert classifier.classify(metro.location) is AreaType.URBAN
+
+
+def test_classifier_far_from_everything_is_rural(places):
+    classifier = AreaClassifier(places)
+    # Far northwest corner of the synthetic region.
+    assert classifier.classify(GeoPoint(49.5, -103.0)) is AreaType.RURAL
+
+
+def test_classifier_town_center_is_suburban_not_urban(places):
+    classifier = AreaClassifier(places)
+    town = next(p for p in places.places if not p.is_city)
+    area = classifier.classify_distance(town, 0.5)
+    assert area is AreaType.SUBURBAN
+
+
+def test_thresholds_scale_with_population():
+    thresholds = ClassifierThresholds()
+    assert thresholds.scale(800_000) > thresholds.scale(100_000)
+    assert thresholds.scale(100_000) == pytest.approx(1.0)
+
+
+def test_classify_distance_boundaries(places):
+    thresholds = ClassifierThresholds(urban_km=6.0, suburban_km=18.0)
+    classifier = AreaClassifier(places, thresholds)
+    city = Place("X", GeoPoint(45.0, -93.0), "Minnesota", 100_000)
+    assert classifier.classify_distance(city, 5.9) is AreaType.URBAN
+    assert classifier.classify_distance(city, 6.1) is AreaType.SUBURBAN
+    assert classifier.classify_distance(city, 18.1) is AreaType.RURAL
+
+
+def test_obstruction_fraction_ordering(places):
+    classifier = AreaClassifier(places)
+    urban = classifier.obstruction_fraction(AreaType.URBAN, 0.5)
+    rural = classifier.obstruction_fraction(AreaType.RURAL, 0.5)
+    assert urban > rural
+
+
+def test_obstruction_fraction_validates_rng_value(places):
+    classifier = AreaClassifier(places)
+    with pytest.raises(ValueError):
+        classifier.obstruction_fraction(AreaType.URBAN, 1.5)
+
+
+def test_obstruction_mask_monotone():
+    masks = [obstruction_elevation_mask_deg(f / 10.0) for f in range(11)]
+    assert masks == sorted(masks)
+    assert masks[0] == 0.0
+    assert masks[-1] <= 90.0
+
+
+def test_obstruction_mask_validates():
+    with pytest.raises(ValueError):
+        obstruction_elevation_mask_deg(1.5)

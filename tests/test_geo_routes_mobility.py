@@ -1,0 +1,130 @@
+"""Route generation and vehicle mobility."""
+
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.geo.mobility import DriverProfile, VehicleTrace
+from repro.geo.places import PlaceDatabase
+from repro.geo.routes import RoadSegment, Route, RouteGenerator
+from repro.rng import RngStreams
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = RngStreams(1)
+    places = PlaceDatabase.synthetic(rng)
+    return places, RouteGenerator(places, rng)
+
+
+@pytest.fixture(scope="module")
+def interstate(world):
+    places, gen = world
+    cities = places.cities()
+    return gen.interstate_drive("test-drive", cities[0], cities[2])
+
+
+def test_interstate_connects_cities(world, interstate):
+    places, _ = world
+    cities = places.cities()
+    # Route should start near the origin and pass near the destination.
+    from repro.geo.coords import haversine_km
+
+    start = interstate.segments[0].start
+    assert haversine_km(start, cities[0].location) < 30.0
+    end = interstate.segments[-1].end
+    assert haversine_km(end, cities[2].location) < 30.0
+
+
+def test_route_length_positive(interstate):
+    assert interstate.length_km > 50.0
+
+
+def test_position_at_zero_is_start(interstate):
+    pos = interstate.position_at_km(0.0)
+    seg0 = interstate.segments[0]
+    assert pos.lat_deg == pytest.approx(seg0.start.lat_deg, abs=1e-9)
+
+
+def test_position_beyond_end_clamps(interstate):
+    pos = interstate.position_at_km(interstate.length_km + 100.0)
+    assert pos == interstate.segments[-1].end
+
+
+def test_position_negative_rejected(interstate):
+    with pytest.raises(ValueError):
+        interstate.position_at_km(-1.0)
+
+
+def test_segment_speed_limits_mixed(interstate):
+    limits = {seg.speed_limit_kmh for seg in interstate.segments}
+    assert RouteGenerator.CITY_LIMIT_KMH in limits
+    assert RouteGenerator.INTERSTATE_LIMIT_KMH in limits
+
+
+def test_local_loop_stays_near_center(world):
+    places, gen = world
+    city = places.cities()[1]
+    route = gen.local_loop("loop", city, radius_km=15.0)
+    from repro.geo.coords import haversine_km
+
+    for seg in route.segments:
+        assert haversine_km(seg.start, city.location) < 60.0
+
+
+def test_empty_route_position_raises():
+    route = Route(name="empty")
+    with pytest.raises(ValueError):
+        route.position_at_km(0.0)
+
+
+def test_vehicle_trace_respects_limits(interstate):
+    trace = VehicleTrace(interstate, RngStreams(2))
+    max_limit = max(seg.speed_limit_kmh for seg in interstate.segments)
+    # Allow the driver-noise margin above the posted limit.
+    assert all(s.speed_kmh <= max_limit + 20.0 for s in trace.samples)
+
+
+def test_vehicle_trace_monotone_distance(interstate):
+    trace = VehicleTrace(interstate, RngStreams(2))
+    kms = [s.route_km for s in trace.samples]
+    assert all(b >= a for a, b in zip(kms, kms[1:]))
+
+
+def test_vehicle_trace_completes_route(interstate):
+    trace = VehicleTrace(interstate, RngStreams(2))
+    assert trace.distance_km == pytest.approx(interstate.length_km, rel=0.01)
+
+
+def test_vehicle_trace_time_increments(interstate):
+    trace = VehicleTrace(interstate, RngStreams(2))
+    times = [s.time_s for s in trace.samples]
+    deltas = {round(b - a, 6) for a, b in zip(times, times[1:])}
+    assert deltas == {1.0}
+
+
+def test_vehicle_trace_deterministic(interstate):
+    t1 = VehicleTrace(interstate, RngStreams(9))
+    t2 = VehicleTrace(interstate, RngStreams(9))
+    assert [s.speed_kmh for s in t1.samples] == [s.speed_kmh for s in t2.samples]
+
+
+def test_driver_profile_affects_speed(interstate):
+    slow = VehicleTrace(
+        interstate, RngStreams(3), DriverProfile(limit_adherence=0.7)
+    )
+    fast = VehicleTrace(
+        interstate, RngStreams(3), DriverProfile(limit_adherence=1.0)
+    )
+    assert fast.duration_s < slow.duration_s
+
+
+def test_bad_sample_period_rejected(interstate):
+    with pytest.raises(ValueError):
+        VehicleTrace(interstate, RngStreams(0), sample_period_s=0.0)
+
+
+def test_zero_length_route_rejected():
+    p = GeoPoint(45.0, -93.0)
+    route = Route("zero", [RoadSegment(p, p, 50.0)])
+    with pytest.raises(ValueError):
+        VehicleTrace(route, RngStreams(0))

@@ -1,0 +1,50 @@
+"""Validation paths of the iPerf harness + MpShell single-path runner."""
+
+import pytest
+
+from repro.conditions import LinkConditions
+from repro.tools.iperf import (
+    run_mptcp_test,
+    run_single_path_over_mpshell,
+    run_tcp_test,
+    run_udp_test,
+)
+
+
+def flat(rate=30.0, seconds=10):
+    return [
+        LinkConditions(float(t), rate, rate / 10.0, 40.0, 0.0)
+        for t in range(seconds)
+    ]
+
+
+def test_mptcp_requires_traces():
+    with pytest.raises(ValueError):
+        run_mptcp_test({})
+
+
+def test_udp_duration_validation():
+    with pytest.raises(ValueError):
+        run_udp_test(flat(), duration_s=-1.0)
+
+
+def test_tcp_uplink_direction_measures_uplink():
+    result = run_tcp_test(flat(rate=40.0, seconds=20), duration_s=20.0, downlink=False)
+    # Uplink is 4 Mbps; TCP should approach it, clearly below downlink.
+    assert 2.0 < result.throughput_mbps < 5.0
+
+
+def test_single_path_over_mpshell_result_shape():
+    result = run_single_path_over_mpshell(
+        "x", flat(rate=20.0, seconds=10), duration_s=10.0
+    )
+    assert result.protocol == "tcp"
+    assert len(result.series_mbps) == 10
+    assert result.throughput_mbps > 10.0
+
+
+def test_mptcp_two_flat_paths_aggregate():
+    traces = {"a": flat(rate=30.0, seconds=10), "b": flat(rate=20.0, seconds=10)}
+    result = run_mptcp_test(traces, duration_s=10.0, buffer_segments=8192)
+    assert result.throughput_mbps > 32.0  # more than either alone
+    assert len(result.series_mbps) == 10

@@ -1,0 +1,119 @@
+"""Starlink channel model behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.geo.classify import AreaType
+from repro.geo.coords import GeoPoint
+from repro.geo.places import PlaceDatabase
+from repro.leo.channel import RAIN, StarlinkChannel
+from repro.leo.dish import mobility_dish, roam_dish
+from repro.rng import RngStreams
+
+POSITION = GeoPoint(44.5, -92.0)
+
+
+def make_channel(dish_factory=mobility_dish, seed=0, weather=None):
+    rng = RngStreams(seed)
+    places = PlaceDatabase.synthetic(rng)
+    kwargs = {"places": places, "rng": rng}
+    if weather is not None:
+        kwargs["weather"] = weather
+    return StarlinkChannel(dish_factory(), **kwargs)
+
+
+def run_channel(channel, seconds=400, area=AreaType.RURAL, speed=90.0):
+    return [
+        channel.sample(float(t), POSITION, speed, area) for t in range(seconds)
+    ]
+
+
+def test_samples_well_formed():
+    for sample in run_channel(make_channel(), 200):
+        assert sample.downlink_mbps >= 0.0
+        assert sample.uplink_mbps >= 0.0
+        assert 0.0 <= sample.loss_rate <= 1.0
+        assert sample.rtt_ms > 0.0
+
+
+def test_fdd_downlink_dominates_uplink():
+    samples = [s for s in run_channel(make_channel()) if not s.is_outage]
+    dl = np.mean([s.downlink_mbps for s in samples])
+    ul = np.mean([s.uplink_mbps for s in samples])
+    assert dl / ul == pytest.approx(10.0, rel=0.05)
+
+
+def test_mobility_outperforms_roam():
+    mob = run_channel(make_channel(mobility_dish, seed=1))
+    rm = run_channel(make_channel(roam_dish, seed=1))
+    assert np.mean([s.downlink_mbps for s in mob]) > np.mean(
+        [s.downlink_mbps for s in rm]
+    )
+
+
+def test_urban_worse_than_rural():
+    urban = run_channel(make_channel(seed=2), area=AreaType.URBAN)
+    rural = run_channel(make_channel(seed=2), area=AreaType.RURAL)
+    assert np.mean([s.downlink_mbps for s in urban]) < np.mean(
+        [s.downlink_mbps for s in rural]
+    )
+
+
+def test_outages_occur_in_motion():
+    samples = run_channel(make_channel(seed=3), 600, area=AreaType.SUBURBAN)
+    outage_share = np.mean([s.is_outage for s in samples])
+    assert 0.05 <= outage_share <= 0.6
+
+
+def test_rtt_in_paper_band():
+    """Figure 4: Starlink RTTs mostly between ~40 and ~120 ms."""
+    samples = [s for s in run_channel(make_channel(seed=4), 500) if not s.is_outage]
+    rtts = np.array([s.rtt_ms for s in samples])
+    assert 40.0 <= np.median(rtts) <= 100.0
+    assert np.mean((rtts >= 40.0) & (rtts <= 150.0)) > 0.8
+
+
+def test_loss_rate_in_paper_band():
+    """Figure 5: Starlink retransmission rates 0.3-1.3 %; the channel's
+    random loss must land in that neighbourhood."""
+    samples = [s for s in run_channel(make_channel(seed=5), 600) if not s.is_outage]
+    mean_loss = np.mean([s.loss_rate for s in samples])
+    assert 0.002 <= mean_loss <= 0.02
+
+
+def test_loss_is_bursty():
+    samples = run_channel(make_channel(seed=6), 100)
+    assert all(s.loss_burst > 10.0 for s in samples if not s.is_outage)
+
+
+def test_rain_reduces_capacity():
+    clear = run_channel(make_channel(seed=7), 400)
+    rain = run_channel(make_channel(seed=7, weather=RAIN), 400)
+    clear_mean = np.mean([s.downlink_mbps for s in clear if not s.is_outage])
+    rain_mean = np.mean([s.downlink_mbps for s in rain if not s.is_outage])
+    assert rain_mean < clear_mean
+
+
+def test_stationary_beats_fast_roam():
+    """Roam's tracking penalty applies in motion, not when parked."""
+    parked = run_channel(make_channel(roam_dish, seed=8), 300, speed=0.0)
+    moving = run_channel(make_channel(roam_dish, seed=8), 300, speed=90.0)
+    parked_mean = np.mean([s.downlink_mbps for s in parked if not s.is_outage])
+    moving_mean = np.mean([s.downlink_mbps for s in moving if not s.is_outage])
+    assert parked_mean > moving_mean
+
+
+def test_speed_above_threshold_flat():
+    """Figure 6: 40 vs 90 km/h should look the same (both fully in motion)."""
+    a = run_channel(make_channel(seed=9), 400, speed=40.0)
+    b = run_channel(make_channel(seed=9), 400, speed=90.0)
+    mean_a = np.mean([s.downlink_mbps for s in a if not s.is_outage])
+    mean_b = np.mean([s.downlink_mbps for s in b if not s.is_outage])
+    assert mean_a == pytest.approx(mean_b, rel=0.25)
+
+
+def test_reset_clears_state():
+    channel = make_channel(seed=10)
+    run_channel(channel, 50)
+    channel.reset()
+    assert channel.handover._serving == -1

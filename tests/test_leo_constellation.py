@@ -1,0 +1,104 @@
+"""Walker constellation propagation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.leo.constellation import (
+    Constellation,
+    EARTH_ROTATION_RAD_S,
+    OrbitalShell,
+    starlink_shell1,
+)
+from repro.units import EARTH_RADIUS_KM
+
+
+def test_starlink_shell1_parameters():
+    shell = starlink_shell1()
+    assert shell.altitude_km == 550.0
+    assert shell.inclination_deg == 53.0
+    assert shell.num_satellites == 72 * 22 == 1584
+
+
+def test_orbital_period_about_95_minutes():
+    shell = starlink_shell1()
+    assert shell.orbital_period_s == pytest.approx(5730.0, rel=0.02)
+
+
+def test_orbital_speed_matches_paper_28000_kmh():
+    """Section 4.2: 'low earth orbit at an approximate speed of 28,000 km/h'."""
+    shell = starlink_shell1()
+    assert shell.orbital_speed_kmh == pytest.approx(27_500, rel=0.03)
+
+
+def test_positions_on_orbit_sphere():
+    constellation = Constellation()
+    pos = constellation.positions_ecef_km(0.0)
+    radii = np.linalg.norm(pos, axis=1)
+    assert np.allclose(radii, EARTH_RADIUS_KM + 550.0, rtol=1e-9)
+
+
+def test_positions_shape():
+    constellation = Constellation()
+    assert constellation.positions_ecef_km(100.0).shape == (1584, 3)
+
+
+def test_satellites_move():
+    constellation = Constellation()
+    p0 = constellation.positions_ecef_km(0.0)
+    p1 = constellation.positions_ecef_km(1.0)
+    moved = np.linalg.norm(p1 - p0, axis=1)
+    # ~7.6 km/s orbital speed.
+    assert np.all(moved > 5.0)
+    assert np.all(moved < 10.0)
+
+
+def test_period_returns_to_start_in_inertial_frame():
+    shell = starlink_shell1()
+    constellation = Constellation([shell])
+    period = shell.orbital_period_s
+    p0 = constellation.positions_ecef_km(0.0)
+    pT = constellation.positions_ecef_km(period)
+    # After one period the orbit repeats but the Earth has rotated under it:
+    # rotate pT back by the Earth rotation angle and compare.
+    theta = EARTH_ROTATION_RAD_S * period
+    cos_t, sin_t = math.cos(theta), math.sin(theta)
+    x = pT[:, 0] * cos_t - pT[:, 1] * sin_t
+    y = pT[:, 0] * sin_t + pT[:, 1] * cos_t
+    back = np.column_stack([x, y, pT[:, 2]])
+    assert np.allclose(back, p0, atol=1.0)
+
+
+def test_max_latitude_bounded_by_inclination():
+    constellation = Constellation()
+    pos = constellation.positions_ecef_km(1234.0)
+    lat = np.degrees(np.arcsin(pos[:, 2] / np.linalg.norm(pos, axis=1)))
+    assert np.max(np.abs(lat)) <= 53.0 + 0.1
+
+
+def test_satellites_spread_over_longitudes():
+    constellation = Constellation()
+    pos = constellation.positions_ecef_km(0.0)
+    lon = np.degrees(np.arctan2(pos[:, 1], pos[:, 0]))
+    hist, _ = np.histogram(lon, bins=12, range=(-180, 180))
+    assert np.all(hist > 0)
+
+
+def test_invalid_shell_rejected():
+    with pytest.raises(ValueError):
+        OrbitalShell(altitude_km=-1, inclination_deg=53, num_planes=2, sats_per_plane=2)
+    with pytest.raises(ValueError):
+        OrbitalShell(altitude_km=550, inclination_deg=53, num_planes=0, sats_per_plane=2)
+
+
+def test_empty_constellation_rejected():
+    with pytest.raises(ValueError):
+        Constellation([])
+
+
+def test_multi_shell_counts():
+    shells = [starlink_shell1(), OrbitalShell(1100.0, 70.0, 6, 10)]
+    constellation = Constellation(shells)
+    assert constellation.num_satellites == 1584 + 60
+    assert constellation.positions_ecef_km(0.0).shape == (1644, 3)

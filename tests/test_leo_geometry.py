@@ -1,0 +1,90 @@
+"""Look angles, slant range, Equation 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.coords import GeoPoint, geodetic_to_ecef_km
+from repro.leo.geometry import (
+    equation1_one_way_latency_ms,
+    look_angles,
+    look_angles_many,
+    propagation_delay_ms,
+    slant_range_km,
+)
+
+
+def test_equation1_value():
+    """The paper's Equation 1: 550 km / c = 1.835 ms."""
+    assert equation1_one_way_latency_ms() == pytest.approx(1.835, abs=0.001)
+
+
+def test_propagation_delay_rejects_negative():
+    with pytest.raises(ValueError):
+        propagation_delay_ms(-1.0)
+
+
+def test_satellite_at_zenith():
+    observer = GeoPoint(45.0, -93.0)
+    sat = geodetic_to_ecef_km(observer, altitude_km=550.0)
+    angles = look_angles(observer, sat)
+    assert angles.elevation_deg == pytest.approx(90.0, abs=0.1)
+    assert angles.slant_range_km == pytest.approx(550.0, abs=1.0)
+    assert angles.one_way_delay_ms == pytest.approx(1.835, abs=0.01)
+
+
+def test_satellite_on_other_side_below_horizon():
+    observer = GeoPoint(45.0, -93.0)
+    antipode = GeoPoint(-45.0, 87.0)
+    sat = geodetic_to_ecef_km(antipode, altitude_km=550.0)
+    angles = look_angles(observer, sat)
+    assert angles.elevation_deg < 0.0
+
+
+def test_azimuth_north():
+    observer = GeoPoint(45.0, -93.0)
+    north = GeoPoint(50.0, -93.0)
+    sat = geodetic_to_ecef_km(north, altitude_km=550.0)
+    angles = look_angles(observer, sat)
+    assert angles.azimuth_deg == pytest.approx(0.0, abs=2.0) or angles.azimuth_deg == pytest.approx(360.0, abs=2.0)
+
+
+def test_look_angles_many_matches_single():
+    observer = GeoPoint(44.0, -90.0)
+    sats = np.vstack(
+        [
+            geodetic_to_ecef_km(GeoPoint(45.0, -90.0), 550.0),
+            geodetic_to_ecef_km(GeoPoint(40.0, -85.0), 550.0),
+        ]
+    )
+    elev, azim, rng = look_angles_many(observer, sats)
+    for i in range(2):
+        single = look_angles(observer, sats[i])
+        assert single.elevation_deg == pytest.approx(float(elev[i]))
+        assert single.azimuth_deg == pytest.approx(float(azim[i]))
+        assert single.slant_range_km == pytest.approx(float(rng[i]))
+
+
+def test_slant_range_at_zenith_is_altitude():
+    assert slant_range_km(550.0, 90.0) == pytest.approx(550.0)
+
+
+def test_slant_range_monotone_in_elevation():
+    ranges = [slant_range_km(550.0, e) for e in range(5, 91, 5)]
+    assert ranges == sorted(ranges, reverse=True)
+
+
+def test_slant_range_at_horizon():
+    # At 0 deg elevation the slant range is sqrt((re+h)^2 - re^2) ~ 2,704 km.
+    assert slant_range_km(550.0, 0.0) == pytest.approx(2704.0, rel=0.01)
+
+
+def test_slant_range_rejects_bad_elevation():
+    with pytest.raises(ValueError):
+        slant_range_km(550.0, 91.0)
+
+
+@given(st.floats(min_value=5.0, max_value=90.0))
+def test_slant_range_bounds(elevation):
+    rng = slant_range_km(550.0, elevation)
+    assert 550.0 - 1e-6 <= rng <= 2704.0

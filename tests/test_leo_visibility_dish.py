@@ -1,0 +1,117 @@
+"""Dish models and satellite visibility under obstruction."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.leo.constellation import Constellation
+from repro.leo.dish import DishModel, DishPlan, dish_for_plan, mobility_dish, roam_dish
+from repro.leo.visibility import VisibilityModel, _azimuth_in_sector
+
+
+@pytest.fixture(scope="module")
+def model():
+    return VisibilityModel(Constellation())
+
+
+OBSERVER = GeoPoint(44.5, -92.0)
+
+
+def test_mobility_wider_fov_than_roam():
+    assert mobility_dish().min_elevation_deg < roam_dish().min_elevation_deg
+
+
+def test_mobility_better_tracking_and_priority():
+    mob, rm = mobility_dish(), roam_dish()
+    assert mob.motion_tracking_factor > rm.motion_tracking_factor
+    assert mob.priority_weight > rm.priority_weight
+    assert mob.peak_downlink_mbps > rm.peak_downlink_mbps
+
+
+def test_fdd_uplink_below_downlink():
+    for dish in (mobility_dish(), roam_dish()):
+        assert dish.peak_uplink_mbps < dish.peak_downlink_mbps / 5.0
+
+
+def test_dish_for_plan_round_trip():
+    assert dish_for_plan(DishPlan.ROAM).plan is DishPlan.ROAM
+    assert dish_for_plan(DishPlan.MOBILITY).plan is DishPlan.MOBILITY
+
+
+def test_dish_validation():
+    with pytest.raises(ValueError):
+        DishModel(
+            plan=DishPlan.ROAM,
+            min_elevation_deg=25.0,
+            peak_downlink_mbps=100.0,
+            peak_uplink_mbps=200.0,  # uplink > downlink: invalid FDD
+            motion_tracking_factor=0.5,
+            priority_weight=1.0,
+            motion_loss_extra=0.0,
+        )
+
+
+def test_effective_mask_takes_max():
+    dish = roam_dish()
+    assert dish.effective_mask_deg(10.0) == dish.min_elevation_deg
+    assert dish.effective_mask_deg(60.0) == 60.0
+
+
+def test_open_sky_has_candidates(model):
+    sats = model.visible_satellites(OBSERVER, 0.0, mobility_dish())
+    assert len(sats) >= 1
+    # Best-first ordering.
+    elevations = [s.elevation_deg for s in sats]
+    assert elevations == sorted(elevations, reverse=True)
+
+
+def test_all_above_mask(model):
+    dish = roam_dish()
+    sats = model.visible_satellites(OBSERVER, 50.0, dish)
+    assert all(s.elevation_deg >= dish.min_elevation_deg for s in sats)
+
+
+def test_mobility_sees_at_least_as_many_as_roam(model):
+    mob = model.visible_satellites(OBSERVER, 100.0, mobility_dish())
+    rm = model.visible_satellites(OBSERVER, 100.0, roam_dish())
+    assert len(mob) >= len(rm)
+
+
+def test_obstruction_reduces_candidates(model):
+    clear = model.visible_satellites(OBSERVER, 200.0, mobility_dish())
+    blocked = model.visible_satellites(
+        OBSERVER, 200.0, mobility_dish(), obstruction_fraction=0.85
+    )
+    assert len(blocked) < len(clear)
+
+
+def test_blocked_sector_removes_low_satellites(model):
+    full = model.visible_satellites(OBSERVER, 300.0, mobility_dish())
+    sectors = [(0.0, 359.9)]
+    masked = model.visible_satellites(
+        OBSERVER, 300.0, mobility_dish(), blocked_sectors=sectors
+    )
+    # Only near-zenith (>= 60 deg) satellites survive a full azimuth block.
+    assert all(s.elevation_deg >= 60.0 for s in masked)
+    assert len(masked) <= len(full)
+
+
+def test_max_candidates_respected(model):
+    sats = model.visible_satellites(
+        OBSERVER, 0.0, mobility_dish(), max_candidates=3
+    )
+    assert len(sats) <= 3
+
+
+def test_azimuth_sector_wrapping():
+    azim = np.array([350.0, 10.0, 180.0])
+    inside = _azimuth_in_sector(azim, 340.0, 20.0)
+    assert list(inside) == [True, True, False]
+
+
+def test_random_sectors_track_obstruction():
+    gen = np.random.default_rng(0)
+    none = VisibilityModel.random_blocked_sectors(0.0, gen)
+    heavy = VisibilityModel.random_blocked_sectors(0.7, gen)
+    assert none == []
+    assert len(heavy) >= 1

@@ -1,0 +1,150 @@
+"""MPTCP: aggregation, head-of-line blocking, schedulers, reinjection."""
+
+import numpy as np
+import pytest
+
+from repro.net import FixedConditions, Path, Simulator
+from repro.net.link import bdp_bytes
+from repro.transport.mptcp import (
+    Blest,
+    MinRtt,
+    RoundRobin,
+    make_scheduler,
+    open_mptcp_connection,
+)
+
+
+def fixed_path(sim, rate=100.0, delay_ms=20.0, loss=0.0, burst=1.0, seed=0):
+    fwd = FixedConditions(rate, delay_ms, loss, burst)
+    rev = FixedConditions(max(rate / 10.0, 1.0), delay_ms)
+    buf = max(2 * bdp_bytes(rate, 2 * delay_ms), 64 * 1500)
+    return Path(sim, fwd, rev, buf, np.random.default_rng(seed))
+
+
+def run_mptcp(paths_spec, duration=10.0, seed=0, **kwargs):
+    sim = Simulator()
+    paths = [
+        fixed_path(sim, seed=seed + i, **spec) for i, spec in enumerate(paths_spec)
+    ]
+    conn, recv = open_mptcp_connection(sim, paths, **kwargs)
+    conn.start()
+    sim.run(until_s=duration)
+    return conn, recv, recv.bytes_received * 8 / 1e6 / duration
+
+
+def test_scheduler_factory():
+    assert isinstance(make_scheduler("blest"), Blest)
+    assert isinstance(make_scheduler("minrtt"), MinRtt)
+    assert isinstance(make_scheduler("roundrobin"), RoundRobin)
+    with pytest.raises(KeyError):
+        make_scheduler("ecf")
+
+
+def test_aggregates_two_clean_paths():
+    _, _, mbps = run_mptcp(
+        [dict(rate=100.0, delay_ms=20.0), dict(rate=50.0, delay_ms=40.0)],
+        buffer_segments=8192,
+    )
+    # Should clearly beat either path alone.
+    assert mbps > 110.0
+
+
+def test_single_path_mptcp_works():
+    _, _, mbps = run_mptcp([dict(rate=50.0, delay_ms=20.0)], buffer_segments=4096)
+    assert mbps > 40.0
+
+
+def test_untuned_buffer_throttles():
+    """The paper's key MPTCP observation: default buffers + a lossy slow
+    path give marginal gains over the better path (Section 6)."""
+    _, _, tuned = run_mptcp(
+        [dict(rate=100.0, delay_ms=20.0), dict(rate=50.0, delay_ms=60.0, loss=0.01, burst=20.0)],
+        buffer_segments=8192,
+        seed=11,
+    )
+    _, _, untuned = run_mptcp(
+        [dict(rate=100.0, delay_ms=20.0), dict(rate=50.0, delay_ms=60.0, loss=0.01, burst=20.0)],
+        buffer_segments=48,
+        seed=11,
+    )
+    assert untuned < 0.6 * tuned
+
+
+def test_in_order_meta_delivery():
+    conn, recv, _ = run_mptcp(
+        [dict(rate=60.0, delay_ms=20.0), dict(rate=30.0, delay_ms=50.0)],
+        buffer_segments=4096,
+    )
+    assert recv.bytes_received == recv.meta_rcv_next * 1500
+
+
+def test_no_data_gap_under_loss():
+    """Every delivered byte is the in-order prefix even with loss and
+    reinjection."""
+    conn, recv, _ = run_mptcp(
+        [
+            dict(rate=60.0, delay_ms=20.0, loss=0.005, burst=10.0),
+            dict(rate=30.0, delay_ms=50.0, loss=0.02, burst=20.0),
+        ],
+        buffer_segments=4096,
+        seed=3,
+    )
+    assert recv.meta_rcv_next > 0
+    assert recv.bytes_received == recv.meta_rcv_next * 1500
+
+
+def test_reinjection_on_dead_subflow():
+    """If one path dies mid-transfer, its data is reinjected and the
+    connection keeps flowing on the surviving path."""
+    from repro.conditions import LinkConditions, outage
+
+    sim = Simulator()
+    good = fixed_path(sim, rate=50.0, delay_ms=20.0, seed=5)
+    dying_samples = [
+        LinkConditions(float(t), 50.0, 5.0, 40.0, 0.0) if t < 5 else outage(float(t))
+        for t in range(30)
+    ]
+    dying = Path.from_conditions(sim, dying_samples, np.random.default_rng(6))
+    conn, recv = open_mptcp_connection(sim, [good, dying], buffer_segments=4096)
+    conn.start()
+    sim.run(until_s=30.0)
+    mbps = recv.bytes_received * 8 / 1e6 / 30.0
+    assert mbps > 25.0  # the good path keeps most of its capacity
+    assert conn.stats.reinjections > 0
+    assert recv.bytes_received == recv.meta_rcv_next * 1500
+
+
+def test_schedulers_all_functional():
+    for name in ("blest", "minrtt", "roundrobin"):
+        _, _, mbps = run_mptcp(
+            [dict(rate=60.0, delay_ms=20.0), dict(rate=30.0, delay_ms=60.0)],
+            buffer_segments=8192,
+            scheduler=name,
+        )
+        assert mbps > 50.0, name
+
+
+def test_blest_beats_roundrobin_with_tiny_buffer():
+    """BLEST's purpose: avoid slow-path sends that would stall the shared
+    window.  With a small buffer and asymmetric paths it should win."""
+    spec = [dict(rate=100.0, delay_ms=10.0), dict(rate=10.0, delay_ms=150.0)]
+    _, _, blest = run_mptcp(spec, buffer_segments=64, scheduler="blest", seed=7)
+    _, _, rr = run_mptcp(spec, buffer_segments=64, scheduler="roundrobin", seed=7)
+    assert blest > rr
+
+
+def test_requires_at_least_one_path():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        open_mptcp_connection(sim, [])
+
+
+def test_stats_aggregate():
+    conn, _, _ = run_mptcp(
+        [dict(rate=50.0, delay_ms=20.0, loss=0.01, burst=10.0)],
+        buffer_segments=4096,
+        seed=9,
+    )
+    assert conn.stats.segments_sent > 0
+    assert conn.stats.retransmissions >= 0
+    assert 0.0 <= conn.stats.retransmission_rate < 0.5

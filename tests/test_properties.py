@@ -1,0 +1,95 @@
+"""Property-based tests on core invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.conditions import LinkConditions
+from repro.core.coverage import classify_level, coverage_shares
+from repro.core.fluid import FluidTcp, fluid_udp_series
+from repro.emu.traces import throughput_to_opportunities_ms
+from repro.net import FixedConditions, Path, Simulator
+from repro.net.link import bdp_bytes
+from repro.transport import open_tcp_connection
+
+conditions_st = st.builds(
+    LinkConditions,
+    time_s=st.floats(min_value=0.0, max_value=1e5),
+    downlink_mbps=st.floats(min_value=0.0, max_value=500.0),
+    uplink_mbps=st.floats(min_value=0.0, max_value=50.0),
+    rtt_ms=st.floats(min_value=1.0, max_value=1000.0),
+    loss_rate=st.floats(min_value=0.0, max_value=1.0),
+    loss_burst=st.floats(min_value=1.0, max_value=200.0),
+)
+
+
+@given(st.lists(conditions_st, min_size=1, max_size=50))
+def test_udp_goodput_never_exceeds_capacity(samples):
+    series = fluid_udp_series(samples)
+    for value, sample in zip(series, samples):
+        assert 0.0 <= value <= sample.downlink_mbps + 1e-9
+
+
+@given(st.lists(conditions_st, min_size=1, max_size=50), st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_fluid_tcp_bounded_by_capacity(samples, seed):
+    model = FluidTcp(seed=seed)
+    for sample in samples:
+        value = model.step(sample)
+        assert 0.0 <= value <= sample.downlink_mbps + 1e-9
+
+
+@given(st.lists(conditions_st, min_size=1, max_size=50), st.integers(1, 8))
+@settings(max_examples=20, deadline=None)
+def test_fluid_tcp_window_state_valid(samples, parallel):
+    model = FluidTcp(parallel=parallel, seed=1)
+    for sample in samples:
+        model.step(sample)
+        assert np.all(model._cwnd >= 2.0 * model.mss - 1e-9)
+        assert np.all(np.isfinite(model._cwnd))
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=120.0), min_size=1, max_size=10)
+)
+@settings(deadline=None, max_examples=40)
+def test_trace_conversion_conserves_volume(series):
+    opps = throughput_to_opportunities_ms(series)
+    total_bits = sum(series) * 1e6  # 1 s per entry
+    converted_bits = len(opps) * 1500 * 8
+    # Carry keeps the error below one packet per conversion.
+    assert abs(total_bits - converted_bits) <= 1500 * 8
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=300
+    )
+)
+def test_coverage_shares_partition(values):
+    shares = coverage_shares("x", values)
+    total = shares.very_low + shares.low + shares.medium + shares.high
+    assert abs(total - 1.0) < 1e-9
+    # Each classified level contributes to exactly one bucket.
+    for v in values:
+        classify_level(v)
+
+
+@given(
+    st.floats(min_value=1.0, max_value=200.0),
+    st.floats(min_value=5.0, max_value=100.0),
+    st.integers(0, 50),
+)
+@settings(max_examples=10, deadline=None)
+def test_tcp_delivers_in_order_prefix(rate, delay_ms, seed):
+    """Whatever the link parameters, TCP app-level data is an in-order
+    prefix: bytes_received == rcv_next * segment."""
+    sim = Simulator()
+    fwd = FixedConditions(rate, delay_ms, loss=0.01, burst=5.0)
+    rev = FixedConditions(max(rate / 10.0, 1.0), delay_ms)
+    buf = max(2 * bdp_bytes(rate, 2 * delay_ms), 64 * 1500)
+    path = Path(sim, fwd, rev, buf, np.random.default_rng(seed))
+    sender, receiver = open_tcp_connection(sim, path)
+    sender.start()
+    sim.run(until_s=3.0)
+    assert receiver.bytes_received == receiver.rcv_next * 1500
+    assert sender.snd_una <= sender.snd_nxt

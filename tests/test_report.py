@@ -1,0 +1,58 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.report import bar_chart, cdf_plot, stacked_shares, timeline
+
+
+def test_bar_chart_basic():
+    out = bar_chart(["ATT", "MOB"], [50.0, 150.0], width=20, unit=" Mbps")
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert "150.0 Mbps" in lines[1]
+    # MOB's bar is the longest.
+    assert lines[1].count("█") > lines[0].count("█")
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+    assert bar_chart([], []) == "(no data)"
+
+
+def test_stacked_shares_render():
+    out = stacked_shares(
+        ["MOB", "ATT"],
+        [[0.3, 0.1, 0.1, 0.5], [0.5, 0.2, 0.2, 0.1]],
+        legend=["<20", "20-50", "50-100", ">100"],
+        width=40,
+    )
+    assert "MOB" in out and "ATT" in out
+    assert "<20" in out
+
+
+def test_stacked_shares_validation():
+    with pytest.raises(ValueError):
+        stacked_shares(["x"], [[0.2, 0.2]], legend=["a", "b"])
+
+
+def test_cdf_plot_monotone_markers():
+    out = cdf_plot({"A": [10, 20, 30], "B": [100, 200, 300]}, width=30, height=6)
+    assert "A" in out and "B" in out
+    assert "Mbps" in out
+    assert len(out.splitlines()) == 6 + 3
+
+
+def test_cdf_plot_empty():
+    assert cdf_plot({}) == "(no data)"
+    assert cdf_plot({"A": []}) == "(no data)"
+
+
+def test_timeline_render():
+    out = timeline({"MOB": [10, 50, 100], "MPTCP": [20, 80, 150]}, width=30, height=5)
+    assert "MPTCP" in out
+    assert "3 s" in out
+
+
+def test_timeline_empty():
+    assert timeline({}) == "(no data)"

@@ -1,0 +1,67 @@
+"""Ring-road routes (suburban beltways)."""
+
+import pytest
+
+from repro.geo.classify import AreaClassifier, AreaType
+from repro.geo.coords import haversine_km
+from repro.geo.places import PlaceDatabase
+from repro.geo.routes import RouteGenerator
+from repro.rng import RngStreams
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = RngStreams(2)
+    places = PlaceDatabase.synthetic(rng)
+    return places, RouteGenerator(places, rng)
+
+
+def test_ring_stays_at_radius(world):
+    places, gen = world
+    metro = max(places.places, key=lambda p: p.population)
+    route = gen.ring_road("ring", metro, ring_km=25.0)
+    for seg in route.segments:
+        assert 20.0 <= haversine_km(seg.start, metro.location) <= 30.0
+
+
+def test_ring_closes(world):
+    places, gen = world
+    metro = places.cities()[0]
+    route = gen.ring_road("ring2", metro, ring_km=25.0)
+    start = route.segments[0].start
+    end = route.segments[-1].end
+    assert haversine_km(start, end) < 5.0
+
+
+def test_ring_circumference(world):
+    places, gen = world
+    metro = places.cities()[0]
+    route = gen.ring_road("ring3", metro, ring_km=25.0)
+    import math
+
+    assert route.length_km == pytest.approx(2 * math.pi * 25.0, rel=0.15)
+
+
+def test_ring_is_mostly_suburban_around_a_metro(world):
+    places, gen = world
+    classifier = AreaClassifier(places)
+    # The first state's metro: its ring band is clear of other towns in
+    # this seed's world (suburban share depends on the random town layout,
+    # exactly as the paper's nearest-place classifier would behave).
+    metro = next(p for p in places.places if p.population >= 400_000)
+    ring_km = 8.0 * classifier.thresholds.scale(metro.population)
+    route = gen.ring_road("ring4", metro, ring_km=ring_km)
+    areas = [
+        classifier.classify(seg.start) for seg in route.segments[::5]
+    ]
+    suburban_share = sum(a is AreaType.SUBURBAN for a in areas) / len(areas)
+    assert suburban_share > 0.5
+
+
+def test_ring_validation(world):
+    _, gen = world
+    metro = _.cities()[0]
+    with pytest.raises(ValueError):
+        gen.ring_road("bad", metro, ring_km=0.0)
+    with pytest.raises(ValueError):
+        gen.ring_road("bad2", metro, segments=2)

@@ -1,0 +1,52 @@
+"""Seeded RNG substreams."""
+
+import pytest
+
+from repro.rng import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(7).get("leo").random(5)
+    b = RngStreams(7).get("leo").random(5)
+    assert list(a) == list(b)
+
+
+def test_different_names_differ():
+    streams = RngStreams(7)
+    a = streams.get("leo").random(5)
+    b = streams.get("cellular").random(5)
+    assert list(a) != list(b)
+
+
+def test_order_independent():
+    """Requesting streams in a different order must not change them."""
+    s1 = RngStreams(3)
+    _ = s1.get("a").random(100)
+    b_first = list(s1.get("b").random(5))
+
+    s2 = RngStreams(3)
+    b_only = list(s2.get("b").random(5))
+    assert b_first == b_only
+
+
+def test_get_returns_same_generator_instance():
+    streams = RngStreams(1)
+    assert streams.get("x") is streams.get("x")
+
+
+def test_fork_independence():
+    base = RngStreams(5)
+    f1 = base.fork(1).get("x").random(5)
+    f2 = base.fork(2).get("x").random(5)
+    assert list(f1) != list(f2)
+
+
+def test_fork_deterministic():
+    assert list(RngStreams(5).fork(3).get("x").random(4)) == list(
+        RngStreams(5).fork(3).get("x").random(4)
+    )
+
+
+def test_negative_seed_rejected():
+    with pytest.raises(ValueError):
+        RngStreams(-1)

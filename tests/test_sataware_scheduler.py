@@ -1,0 +1,106 @@
+"""The SatAware MPTCP scheduler (LEO-reconfiguration-aware extension)."""
+
+import numpy as np
+import pytest
+
+from repro.conditions import LinkConditions, outage
+from repro.net import FixedConditions, Path, Simulator
+from repro.net.link import bdp_bytes
+from repro.transport.mptcp import SatAware, make_scheduler, open_mptcp_connection
+
+
+def test_factory_knows_sataware():
+    assert isinstance(make_scheduler("sataware"), SatAware)
+
+
+def test_guard_window_validation():
+    with pytest.raises(ValueError):
+        SatAware(interval_s=0.0)
+    with pytest.raises(ValueError):
+        SatAware(interval_s=1.0, guard_before_s=0.6, guard_after_s=0.6)
+
+
+def test_guard_window_phase():
+    sched = SatAware(interval_s=15.0, guard_before_s=1.0, guard_after_s=0.5)
+    assert sched._in_guard_window(14.5)
+    assert sched._in_guard_window(15.2)
+    assert sched._in_guard_window(0.3)
+    assert not sched._in_guard_window(7.0)
+    assert not sched._in_guard_window(13.9)
+
+
+def starlink_like_samples(seconds=90):
+    """Good capacity except a gap after every 15 s boundary."""
+    samples = []
+    for t in range(seconds):
+        if t % 15 == 0:
+            samples.append(outage(float(t)))
+        else:
+            samples.append(
+                LinkConditions(float(t), 150.0, 15.0, 60.0, 0.002, loss_burst=60.0)
+            )
+    return samples
+
+
+def run_with_scheduler(scheduler, duration=90.0, seed=5):
+    sim = Simulator()
+    sat = Path.from_conditions(
+        sim, starlink_like_samples(), np.random.default_rng(seed), name="sat"
+    )
+    cell_fwd = FixedConditions(80.0, 25.0)
+    cell_rev = FixedConditions(8.0, 25.0)
+    cell = Path(
+        sim, cell_fwd, cell_rev,
+        max(6 * bdp_bytes(80.0, 50.0), 64 * 1500),
+        np.random.default_rng(seed + 1),
+        name="cell",
+    )
+    conn, recv = open_mptcp_connection(
+        sim, [sat, cell], scheduler=scheduler, buffer_segments=8192
+    )
+    conn.start()
+    sim.run(until_s=duration)
+    return recv.bytes_received * 8 / 1e6 / duration
+
+
+def test_sataware_competitive_with_blest():
+    """On a path pair with periodic satellite gaps, guarding the boundary
+    must not cost aggregate throughput (and usually helps smoothness)."""
+    blest = run_with_scheduler("blest")
+    sataware = run_with_scheduler("sataware")
+    assert sataware > 0.85 * blest
+
+
+def test_sataware_schedules_on_cellular_during_guard():
+    sim = Simulator()
+    scheduler = SatAware(interval_s=15.0, guard_before_s=1.0, guard_after_s=1.0)
+
+    class FakeSubflow:
+        def __init__(self, sid, rtt):
+            self.subflow_id = sid
+            self.smoothed_rtt_s = rtt
+
+            class CC:
+                cwnd = 10.0
+
+            self.cc = CC()
+
+    class FakeConnection:
+        def __init__(self, now):
+            self.sim = type("S", (), {"now": now})()
+            self.subflows = [FakeSubflow(0, 0.06), FakeSubflow(1, 0.05)]
+
+        def send_window_left(self):
+            return 1 << 20
+
+    sat, cell = FakeSubflow(0, 0.06), FakeSubflow(1, 0.05)
+    # Mid-interval: both are candidates, fastest wins.
+    conn = FakeConnection(now=7.0)
+    conn.subflows = [sat, cell]
+    assert scheduler.pick([sat, cell], conn) is cell
+    # In the guard window with only the satellite available: hold.
+    conn = FakeConnection(now=14.5)
+    conn.subflows = [sat, cell]
+    assert scheduler.pick([sat], conn) is None
+    # In the guard window with both: cellular.
+    assert scheduler.pick([sat, cell], conn) is cell

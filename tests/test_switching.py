@@ -1,0 +1,100 @@
+"""Switching policies: oracle vs hysteresis."""
+
+import numpy as np
+import pytest
+
+from repro.core.switching import (
+    SwitchPolicy,
+    hysteresis_switching,
+    oracle_switching,
+)
+
+
+def alternating_series(period=20, length=120, high=100.0, low=10.0):
+    """Two networks that trade places every ``period`` seconds."""
+    a, b = [], []
+    for t in range(length):
+        if (t // period) % 2 == 0:
+            a.append(high)
+            b.append(low)
+        else:
+            a.append(low)
+            b.append(high)
+    return {"A": a, "B": b}
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        SwitchPolicy(margin=-0.1)
+    with pytest.raises(ValueError):
+        SwitchPolicy(dwell_s=0)
+    with pytest.raises(ValueError):
+        SwitchPolicy(switch_outage_s=-1)
+
+
+def test_series_validation():
+    with pytest.raises(ValueError):
+        oracle_switching({})
+    with pytest.raises(ValueError):
+        oracle_switching({"A": [1.0], "B": [1.0, 2.0]})
+    with pytest.raises(ValueError):
+        hysteresis_switching({"A": [], "B": []})
+
+
+def test_oracle_takes_pointwise_max():
+    series = alternating_series()
+    outcome = oracle_switching(series)
+    assert outcome.mean_mbps == pytest.approx(100.0)
+    assert outcome.switches == 5  # 6 phases, 5 boundaries
+
+
+def test_hysteresis_below_oracle_above_single():
+    series = alternating_series()
+    single = max(np.mean(series["A"]), np.mean(series["B"]))
+    policy = SwitchPolicy(margin=0.25, dwell_s=3, switch_outage_s=2)
+    outcome = hysteresis_switching(series, policy)
+    oracle = oracle_switching(series)
+    assert single < outcome.mean_mbps < oracle.mean_mbps
+    assert 0 < outcome.switches <= oracle.switches
+
+
+def test_hysteresis_never_switches_without_advantage():
+    series = {"A": [100.0] * 60, "B": [50.0] * 60}
+    outcome = hysteresis_switching(series)
+    assert outcome.switches == 0
+    assert outcome.mean_mbps == pytest.approx(100.0)
+    assert set(outcome.serving) == {"A"}
+
+
+def test_switch_outage_costs_throughput():
+    series = alternating_series(period=10)
+    cheap = hysteresis_switching(
+        series, SwitchPolicy(margin=0.1, dwell_s=2, switch_outage_s=0)
+    )
+    costly = hysteresis_switching(
+        series, SwitchPolicy(margin=0.1, dwell_s=2, switch_outage_s=5)
+    )
+    assert costly.mean_mbps < cheap.mean_mbps
+    assert 0.0 in costly.achieved_mbps
+
+
+def test_dwell_debounces_flapping():
+    """One-second blips must not trigger switches under a long dwell."""
+    a = [100.0] * 60
+    b = [10.0] * 60
+    for t in range(5, 60, 10):
+        b[t] = 500.0  # 1 s blip
+    outcome = hysteresis_switching(
+        {"A": a, "B": b}, SwitchPolicy(margin=0.2, dwell_s=3, switch_outage_s=2)
+    )
+    assert outcome.switches == 0
+
+
+def test_serving_tracks_decisions():
+    series = alternating_series(period=30, length=60)
+    outcome = hysteresis_switching(
+        series, SwitchPolicy(margin=0.2, dwell_s=2, switch_outage_s=1)
+    )
+    assert len(outcome.serving) == 60
+    assert outcome.serving[0] == "A"
+    assert outcome.serving[-1] == "B"

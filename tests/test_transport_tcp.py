@@ -1,0 +1,141 @@
+"""Packet-level TCP behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.conditions import LinkConditions, outage
+from repro.net import FixedConditions, Path, Simulator
+from repro.net.link import bdp_bytes
+from repro.transport import open_tcp_connection
+
+
+def fixed_path(sim, rate=100.0, delay_ms=20.0, loss=0.0, burst=1.0, buffer_bytes=None, seed=0):
+    fwd = FixedConditions(rate, delay_ms, loss, burst)
+    rev = FixedConditions(max(rate / 10.0, 1.0), delay_ms)
+    buf = buffer_bytes or max(2 * bdp_bytes(rate, 2 * delay_ms), 64 * 1500)
+    return Path(sim, fwd, rev, buf, np.random.default_rng(seed))
+
+
+def run_tcp(sim, path, duration, **kwargs):
+    sender, receiver = open_tcp_connection(sim, path, **kwargs)
+    sender.start()
+    sim.run(until_s=duration)
+    return sender, receiver
+
+
+def test_clean_link_near_capacity():
+    sim = Simulator()
+    path = fixed_path(sim, rate=50.0)
+    _, receiver = run_tcp(sim, path, 10.0)
+    assert receiver.bytes_received * 8 / 1e6 / 10.0 > 45.0
+
+
+def test_loss_reduces_throughput():
+    sim = Simulator()
+    _, clean = run_tcp(sim, fixed_path(sim, rate=100.0, delay_ms=25.0), 15.0)
+    sim2 = Simulator()
+    _, lossy = run_tcp(
+        sim2, fixed_path(sim2, rate=100.0, delay_ms=25.0, loss=0.01), 15.0
+    )
+    assert lossy.bytes_received < 0.4 * clean.bytes_received
+
+
+def test_bursty_loss_hurts_less_than_iid():
+    """The paper's core transport insight: at equal average loss, clustered
+    (Starlink-style) loss costs TCP much less than independent loss."""
+    sim = Simulator()
+    _, iid = run_tcp(sim, fixed_path(sim, loss=0.01, burst=1.0, seed=1), 20.0)
+    sim2 = Simulator()
+    _, bursty = run_tcp(
+        sim2, fixed_path(sim2, loss=0.01, burst=50.0, seed=1), 20.0
+    )
+    assert bursty.bytes_received > 1.5 * iid.bytes_received
+
+
+def test_retransmission_accounting():
+    sim = Simulator()
+    sender, _ = run_tcp(sim, fixed_path(sim, loss=0.005, burst=10.0), 20.0)
+    assert sender.stats.retransmissions > 0
+    assert 0.0 < sender.stats.retransmission_rate < 0.1
+
+
+def test_clean_link_no_spurious_retransmits():
+    sim = Simulator()
+    sender, _ = run_tcp(sim, fixed_path(sim, rate=20.0), 10.0)
+    assert sender.stats.retransmission_rate < 0.01
+    assert sender.stats.rto_events == 0
+
+
+def test_rtt_estimation_close_to_path_rtt():
+    sim = Simulator()
+    sender, _ = run_tcp(sim, fixed_path(sim, rate=20.0, delay_ms=30.0), 10.0)
+    # 60 ms propagation + queueing.
+    assert 0.055 <= sender.smoothed_rtt_s <= 0.2
+
+
+def test_receive_buffer_caps_throughput():
+    """Small advertised windows bound throughput at rwnd/RTT — the
+    mechanism behind the paper's untuned-buffer MPTCP result."""
+    sim = Simulator()
+    path = fixed_path(sim, rate=100.0, delay_ms=25.0)
+    _, receiver = run_tcp(
+        sim, path, 10.0, receiver_buffer_segments=40
+    )
+    mbps = receiver.bytes_received * 8 / 1e6 / 10.0
+    # 40 segments * 1500 B / 50 ms = 9.6 Mbps ceiling.
+    assert mbps <= 12.0
+
+
+def test_outage_recovery():
+    samples = []
+    for t in range(60):
+        if 20 <= t < 25:
+            samples.append(outage(float(t)))
+        else:
+            samples.append(
+                LinkConditions(float(t), 50.0, 5.0, 40.0, 0.0)
+            )
+    sim = Simulator()
+    path = Path.from_conditions(sim, samples, np.random.default_rng(0))
+    sender, receiver = open_tcp_connection(sim, path)
+    sender.start()
+    sim.run(until_s=60.0)
+    # 55 live seconds at 50 Mbps less recovery overhead.
+    assert receiver.bytes_received * 8 / 1e6 > 0.6 * 55 * 50
+    assert sender.stats.rto_events >= 1
+
+
+def test_total_segments_limits_transfer():
+    sim = Simulator()
+    path = fixed_path(sim, rate=50.0)
+    sender, receiver = open_tcp_connection(sim, path, total_segments=100)
+    sender.start()
+    sim.run(until_s=10.0)
+    assert receiver.bytes_received == 100 * 1500
+
+
+def test_reno_and_cubic_both_work():
+    for cc in ("reno", "cubic"):
+        sim = Simulator()
+        path = fixed_path(sim, rate=30.0)
+        _, receiver = run_tcp(sim, path, 10.0, congestion=cc)
+        assert receiver.bytes_received * 8 / 1e6 / 10.0 > 24.0
+
+
+def test_in_order_delivery():
+    sim = Simulator()
+    path = fixed_path(sim, loss=0.02, burst=5.0, seed=3)
+    sender, receiver = open_tcp_connection(sim, path)
+    sender.start()
+    sim.run(until_s=10.0)
+    # Everything delivered to the app is the in-order prefix.
+    assert receiver.bytes_received == receiver.rcv_next * 1500
+
+
+def test_sack_blocks_reported():
+    sim = Simulator()
+    path = fixed_path(sim, loss=0.05, burst=3.0, seed=4)
+    sender, receiver = open_tcp_connection(sim, path)
+    sender.start()
+    sim.run(until_s=5.0)
+    assert sender.stats.fast_retransmits > 0
