@@ -62,7 +62,13 @@ class CellularChannel:
         snr = snr_db(distance_km, self._gen, shadowing_db=shadow_db)
 
         if self._band is None or time_s >= self._band_until_s:
-            self._band = draw_band(self.carrier.band_mix[area], self._gen)
+            mix = self.carrier.band_mix.get(area) or {}
+            if not mix or sum(mix.values()) <= 0.0:
+                # Zero-coverage area for this carrier: a dead zone is an
+                # outage second, not a crash in the band sampler.
+                self._band = None
+                return outage(time_s, loss_burst=self.LOSS_BURST)
+            self._band = draw_band(mix, self._gen)
             self._band_until_s = time_s + self.BAND_DWELL_S
 
         share = self.load.step(area)

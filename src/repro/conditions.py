@@ -45,8 +45,36 @@ class LinkConditions:
         """Capacity for the requested direction."""
         return self.downlink_mbps if downlink else self.uplink_mbps
 
+    def degraded(
+        self,
+        capacity_factor: float = 1.0,
+        extra_loss: float = 0.0,
+        extra_rtt_ms: float = 0.0,
+        loss_burst: float | None = None,
+    ) -> "LinkConditions":
+        """A copy of this second with external attenuation applied.
 
-def outage(time_s: float, rtt_ms: float = 1000.0) -> LinkConditions:
+        This is how :mod:`repro.faults` composes over a channel without the
+        channel knowing: capacities scale, loss adds (clamped to 1), RTT
+        adds.  ``capacity_factor`` must be non-negative.
+        """
+        if capacity_factor < 0.0:
+            raise ValueError(
+                f"capacity_factor must be non-negative, got {capacity_factor}"
+            )
+        if extra_loss < 0.0 or extra_rtt_ms < 0.0:
+            raise ValueError("extra_loss and extra_rtt_ms must be non-negative")
+        return LinkConditions(
+            time_s=self.time_s,
+            downlink_mbps=self.downlink_mbps * capacity_factor,
+            uplink_mbps=self.uplink_mbps * capacity_factor,
+            rtt_ms=self.rtt_ms + extra_rtt_ms,
+            loss_rate=min(1.0, self.loss_rate + extra_loss),
+            loss_burst=self.loss_burst if loss_burst is None else loss_burst,
+        )
+
+
+def outage(time_s: float, rtt_ms: float = 1000.0, loss_burst: float = 1.0) -> LinkConditions:
     """A fully dead second (used during deep blockage / no coverage)."""
     return LinkConditions(
         time_s=time_s,
@@ -54,4 +82,5 @@ def outage(time_s: float, rtt_ms: float = 1000.0) -> LinkConditions:
         uplink_mbps=0.0,
         rtt_ms=rtt_ms,
         loss_rate=1.0,
+        loss_burst=loss_burst,
     )

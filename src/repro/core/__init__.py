@@ -11,7 +11,9 @@ from repro.core.analysis import (
 from repro.core.campaign import (
     Campaign,
     CampaignConfig,
+    CampaignReport,
     DEFAULT_CYCLE,
+    DriveFailure,
     TestKind,
     run_campaign,
 )
@@ -57,11 +59,13 @@ __all__ = [
     "CELLULAR_NETWORKS",
     "Campaign",
     "CampaignConfig",
+    "CampaignReport",
     "ComparisonResult",
     "ConfidenceInterval",
     "CoverageShares",
     "DEFAULT_CYCLE",
     "DriveDataset",
+    "DriveFailure",
     "FluidTcp",
     "LEVEL_EDGES_MBPS",
     "NETWORKS",

@@ -6,10 +6,22 @@ phones (AT&T, T-Mobile, Verizon) drives routes across five synthetic
 states; at scheduled windows all five devices run the same network test
 simultaneously (the paper's apples-to-apples setup), while a 5G-Tracker
 logger records metadata continuously.
+
+The orchestration is resilient the way a month-long field campaign has to
+be: drives are isolated (one drive blowing up becomes a structured
+:class:`DriveFailure`, not a lost campaign), progress is checkpointed to
+JSON after every drive so an interrupted run resumes from the last
+completed drive, and a :class:`CampaignReport` records failures, injected
+faults, and resumed state.  Fault injection itself lives in
+:mod:`repro.faults` and composes over the channels from the outside.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import traceback as traceback_module
 from dataclasses import dataclass, field
 
 from repro.cellular.carriers import carrier_by_short_name
@@ -21,8 +33,11 @@ from repro.core.dataset import (
     STARLINK_NETWORKS,
     SecondSample,
     TestRecord,
+    record_from_dict,
+    record_to_dict,
 )
-from repro.core.fluid import FluidTcp, fluid_udp_series
+from repro.core.fluid import FluidTcp
+from repro.faults import FaultInjector, FaultKind, FaultSchedule
 from repro.geo.classify import AreaClassifier, AreaType
 from repro.geo.coords import GeoPoint
 from repro.geo.mobility import VehicleTrace
@@ -38,6 +53,19 @@ from repro.tools.tracker import Tracker
 #: Devices the vehicle carries (5 networks measured at once).
 DEVICES_PER_VEHICLE = len(NETWORKS)
 
+#: Test-id block reserved per drive.  Drive ``k`` numbers its tests from
+#: ``k * TEST_ID_STRIDE``, so a drive's records (including the per-test
+#: fluid-model seeds derived from test ids) are identical whether earlier
+#: drives succeeded, failed, or were restored from a checkpoint.
+TEST_ID_STRIDE = 100_000
+
+#: iPerf-style UDP overdrive: the sender's constant offered load sits
+#: ~20% above its running estimate of the link rate.
+UDP_OVERDRIVE = 1.2
+
+#: Checkpoint schema version.
+CHECKPOINT_VERSION = 1
+
 
 @dataclass(frozen=True)
 class TestKind:
@@ -46,6 +74,14 @@ class TestKind:
     protocol: str  # "tcp" | "udp" | "ping"
     direction: str  # "dl" | "ul"
     parallel: int = 1
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("tcp", "udp", "ping"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.direction not in ("dl", "ul"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {self.parallel}")
 
 
 #: Default test cycle: weighted toward the UDP/TCP downlink tests the
@@ -81,6 +117,68 @@ class CampaignConfig:
     cycle: tuple[TestKind, ...] = field(default_factory=lambda: DEFAULT_CYCLE)
     #: City-loop route size (segments) — bigger means more urban samples.
     city_loop_segments: int = 30
+    #: Optional deterministic fault schedule (see :mod:`repro.faults`).
+    fault_schedule: FaultSchedule | None = None
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+        for name in ("num_interstate_drives", "num_city_drives", "num_ring_drives"):
+            count = getattr(self, name)
+            if count < 0:
+                raise ValueError(f"{name} must be non-negative, got {count}")
+        if self.max_drive_seconds is not None and self.max_drive_seconds <= 0:
+            raise ValueError(
+                f"max_drive_seconds must be positive or None, got {self.max_drive_seconds}"
+            )
+        if self.test_duration_s <= 0:
+            raise ValueError(
+                f"test_duration_s must be positive, got {self.test_duration_s}"
+            )
+        if self.window_period_s <= 0:
+            raise ValueError(
+                f"window_period_s must be positive, got {self.window_period_s}"
+            )
+        if not self.cycle:
+            raise ValueError("cycle must contain at least one TestKind")
+        for kind in self.cycle:
+            if not isinstance(kind, TestKind):
+                raise ValueError(f"cycle entries must be TestKind, got {kind!r}")
+        if self.city_loop_segments < 1:
+            raise ValueError(
+                f"city_loop_segments must be >= 1, got {self.city_loop_segments}"
+            )
+        if self.fault_schedule is not None and not isinstance(
+            self.fault_schedule, FaultSchedule
+        ):
+            raise ValueError(
+                f"fault_schedule must be a FaultSchedule, got {type(self.fault_schedule)}"
+            )
+
+    @property
+    def num_drives(self) -> int:
+        return (
+            self.num_interstate_drives + self.num_city_drives + self.num_ring_drives
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash: guards checkpoint/config mismatches."""
+        payload = {
+            "seed": self.seed,
+            "num_interstate_drives": self.num_interstate_drives,
+            "num_city_drives": self.num_city_drives,
+            "num_ring_drives": self.num_ring_drives,
+            "max_drive_seconds": self.max_drive_seconds,
+            "test_duration_s": self.test_duration_s,
+            "window_period_s": self.window_period_s,
+            "cycle": [[k.protocol, k.direction, k.parallel] for k in self.cycle],
+            "city_loop_segments": self.city_loop_segments,
+            "fault_schedule": (
+                self.fault_schedule.to_json() if self.fault_schedule else None
+            ),
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
 
     @classmethod
     def paper_scale(cls, seed: int = 0) -> "CampaignConfig":
@@ -113,6 +211,90 @@ class CampaignConfig:
         )
 
 
+@dataclass(frozen=True)
+class DriveFailure:
+    """One drive that blew up: captured, logged, and skipped."""
+
+    drive_id: int
+    route_name: str
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(
+        cls, drive_id: int, route_name: str, exc: BaseException
+    ) -> "DriveFailure":
+        return cls(
+            drive_id=drive_id,
+            route_name=route_name,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback_module.format_exception(exc)
+            )[-4000:],
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "drive_id": self.drive_id,
+            "route_name": self.route_name,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """What actually happened during a campaign run.
+
+    Surfaces the resilience machinery: per-drive failures (drives the
+    dataset is missing), fault-injection totals, and whether/how much of
+    the run was restored from a checkpoint.
+    """
+
+    drives_total: int = 0
+    drives_completed: int = 0
+    drives_resumed: int = 0
+    failures: list[DriveFailure] = field(default_factory=list)
+    #: fault-kind value -> seconds any link spent under that fault.
+    fault_seconds: dict[str, int] = field(default_factory=dict)
+    #: Seconds forced to full outage by blackout faults (all links).
+    fault_outage_seconds: int = 0
+    #: fault-kind value -> number of scheduled events (0 when no schedule).
+    scheduled_faults: dict[str, int] = field(default_factory=dict)
+    num_tests: int = 0
+    checkpoint_path: str | None = None
+
+    @property
+    def drives_failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        """True when every drive completed."""
+        return self.drives_completed == self.drives_total
+
+    def to_dict(self) -> dict:
+        return {
+            "drives_total": self.drives_total,
+            "drives_completed": self.drives_completed,
+            "drives_resumed": self.drives_resumed,
+            "drives_failed": self.drives_failed,
+            "failures": [f.to_dict() for f in self.failures],
+            "fault_seconds": dict(self.fault_seconds),
+            "fault_outage_seconds": self.fault_outage_seconds,
+            "scheduled_faults": dict(self.scheduled_faults),
+            "num_tests": self.num_tests,
+            "checkpoint_path": self.checkpoint_path,
+        }
+
+    def save_json(self, path: str | os.PathLike) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+
 class Campaign:
     """Builds the world once, then simulates every drive."""
 
@@ -124,36 +306,96 @@ class Campaign:
         self.constellation = Constellation()
         self.gateways = GatewayNetwork.synthetic(self.places, self.rng)
         self.route_generator = RouteGenerator(self.places, self.rng)
+        #: Filled by :meth:`run`.
+        self.report: CampaignReport | None = None
 
     # -- public API -----------------------------------------------------
 
-    def run(self) -> DriveDataset:
-        """Simulate the whole campaign and return the dataset."""
+    def run(self, checkpoint_path: str | os.PathLike | None = None) -> DriveDataset:
+        """Simulate the whole campaign and return the dataset.
+
+        With ``checkpoint_path``, progress is written there after every
+        drive and a matching checkpoint found at start resumes the run
+        from the last completed drive.  Per-drive results are independent
+        (seeds and test ids are derived per drive), so a resumed campaign
+        produces a dataset identical to an uninterrupted one.
+
+        A drive that raises is captured as a :class:`DriveFailure` in
+        :attr:`report` and the campaign continues with the next drive.
+        """
+        cfg = self.config
+        fingerprint = cfg.fingerprint()
+        routes = self._routes()
+
+        drive_payloads: dict[int, dict] = {}
+        resumed = 0
+        if checkpoint_path is not None and os.path.exists(checkpoint_path):
+            drive_payloads = _load_checkpoint(checkpoint_path, fingerprint)
+            resumed = len(drive_payloads)
+
+        failures: list[DriveFailure] = []
+        for drive_id, route in enumerate(routes):
+            if drive_id in drive_payloads:
+                continue
+            try:
+                drive_payloads[drive_id] = self._simulate_drive(drive_id, route)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                failures.append(
+                    DriveFailure.from_exception(drive_id, route.name, exc)
+                )
+            if checkpoint_path is not None:
+                _write_checkpoint(checkpoint_path, fingerprint, drive_payloads)
+
+        return self._assemble(
+            routes, drive_payloads, failures, resumed, checkpoint_path
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _assemble(
+        self,
+        routes: list[Route],
+        drive_payloads: dict[int, dict],
+        failures: list[DriveFailure],
+        resumed: int,
+        checkpoint_path: str | os.PathLike | None,
+    ) -> DriveDataset:
         records: list[TestRecord] = []
         trace_minutes = 0.0
         distance_km = 0.0
         area_counts = {area: 0 for area in AreaType}
-        test_id = 0
+        fault_seconds: dict[str, int] = {}
+        fault_outage_seconds = 0
 
-        for drive_id, route in enumerate(self._routes()):
-            drive_rng = self.rng.fork(drive_id)
-            trace = VehicleTrace(route, drive_rng)
-            samples = trace.samples
-            if self.config.max_drive_seconds is not None:
-                limit = int(self.config.max_drive_seconds)
-                samples = samples[:limit]
-            tracker = Tracker(self.classifier)
-            for mob in samples:
-                record = tracker.observe(mob)
-                area_counts[record.area] += 1
-            trace_minutes += tracker.duration_minutes * DEVICES_PER_VEHICLE
-            distance_km += tracker.distance_km
+        for drive_id in sorted(drive_payloads):
+            payload = drive_payloads[drive_id]
+            records.extend(payload["records"])
+            trace_minutes += payload["trace_minutes"]
+            distance_km += payload["distance_km"]
+            for area_value, count in payload["area_counts"].items():
+                area_counts[AreaType(area_value)] += count
+            for kind, seconds in payload["fault_seconds"].items():
+                fault_seconds[kind] = fault_seconds.get(kind, 0) + seconds
+            fault_outage_seconds += payload["fault_outage_seconds"]
 
-            channels = self._make_channels(drive_rng)
-            drive_records, test_id = self._run_tests(
-                drive_id, tracker, channels, test_id
-            )
-            records.extend(drive_records)
+        schedule = self.config.fault_schedule
+        self.report = CampaignReport(
+            drives_total=len(routes),
+            drives_completed=len(drive_payloads),
+            drives_resumed=resumed,
+            failures=failures,
+            fault_seconds=fault_seconds,
+            fault_outage_seconds=fault_outage_seconds,
+            scheduled_faults=(
+                schedule.counts_by_kind()
+                if schedule
+                else {kind.value: 0 for kind in FaultKind}
+            ),
+            num_tests=len(records),
+            checkpoint_path=(
+                os.fspath(checkpoint_path) if checkpoint_path is not None else None
+            ),
+        )
 
         total = sum(area_counts.values()) or 1
         proportions = {a: c / total for a, c in area_counts.items()}
@@ -164,7 +406,57 @@ class Campaign:
             area_proportions=proportions,
         )
 
-    # -- internals ---------------------------------------------------------
+    def _simulate_drive(self, drive_id: int, route: Route) -> dict:
+        """One drive, fully self-contained: trace, channels, tests.
+
+        Seeds (``rng.fork(drive_id)``) and test ids
+        (``drive_id * TEST_ID_STRIDE``) depend only on the drive id, so
+        the result is byte-identical regardless of what happened to other
+        drives — the invariant checkpoint/resume relies on.
+        """
+        cfg = self.config
+        drive_rng = self.rng.fork(drive_id)
+        trace = VehicleTrace(route, drive_rng)
+        samples = trace.samples
+        if cfg.max_drive_seconds is not None:
+            limit = int(cfg.max_drive_seconds)
+            samples = samples[:limit]
+        tracker = Tracker(self.classifier)
+        area_counts = {area: 0 for area in AreaType}
+        for mob in samples:
+            record = tracker.observe(mob)
+            area_counts[record.area] += 1
+
+        channels = self._make_channels(drive_rng)
+        injectors: list[FaultInjector] = []
+        if cfg.fault_schedule:
+            channels = {
+                network: FaultInjector(
+                    channel, network, cfg.fault_schedule, drive_id=drive_id
+                )
+                for network, channel in channels.items()
+            }
+            injectors = list(channels.values())
+
+        drive_records, _ = self._run_tests(
+            drive_id, tracker, channels, drive_id * TEST_ID_STRIDE
+        )
+
+        fault_seconds: dict[str, int] = {}
+        fault_outage_seconds = 0
+        for injector in injectors:
+            for kind, seconds in injector.fault_seconds.items():
+                fault_seconds[kind] = fault_seconds.get(kind, 0) + seconds
+            fault_outage_seconds += injector.outage_seconds
+
+        return {
+            "records": drive_records,
+            "trace_minutes": tracker.duration_minutes * DEVICES_PER_VEHICLE,
+            "distance_km": tracker.distance_km,
+            "area_counts": {area.value: c for area, c in area_counts.items()},
+            "fault_seconds": fault_seconds,
+            "fault_outage_seconds": fault_outage_seconds,
+        }
 
     def _routes(self) -> list[Route]:
         cities = self.places.cities()
@@ -181,6 +473,14 @@ class Campaign:
         for i in range(self.config.num_city_drives):
             around = cities[int(gen.integers(0, len(cities)))]
             route = self.route_generator.local_loop(f"city-{i}", around)
+            if not route.segments:
+                # extend-by-chaining below would never terminate on an
+                # empty loop; fail loudly instead of spinning.
+                raise ValueError(
+                    f"city loop {route.name!r} around {around.name!r} "
+                    "generated no segments; cannot extend it to "
+                    f"{self.config.city_loop_segments} segments"
+                )
             # Extend the loop to the configured size by chaining copies.
             while len(route.segments) < self.config.city_loop_segments:
                 route.segments.extend(route.segments[:10])
@@ -246,6 +546,9 @@ class Campaign:
             }
             loss_weighted: dict[str, float] = {n: 0.0 for n in NETWORKS}
             capacity_sum: dict[str, float] = {n: 0.0 for n in NETWORKS}
+            # Running per-network link-rate estimate the UDP sender's
+            # offered load tracks (reset each window, like iPerf restarts).
+            udp_rate_est: dict[str, float] = {}
             for meta in window:
                 position = GeoPoint(meta.lat_deg, meta.lon_deg)
                 for network in NETWORKS:
@@ -255,7 +558,21 @@ class Campaign:
                     downlink = kind.direction == "dl"
                     if kind.protocol == "udp":
                         capacity = conditions.capacity_mbps(downlink)
-                        throughput = min(capacity * 1.2, capacity) * (
+                        # iPerf UDP overdrive model: the sender blasts a
+                        # constant offered load ~20% above its EWMA
+                        # estimate of the link rate; delivered goodput is
+                        # min(offered, capacity) thinned by random loss.
+                        # During dips the link saturates; during spikes
+                        # goodput is capped by the offered rate.
+                        est = udp_rate_est.get(network)
+                        est = (
+                            capacity
+                            if est is None
+                            else est + 0.25 * (capacity - est)
+                        )
+                        udp_rate_est[network] = est
+                        offered = UDP_OVERDRIVE * est
+                        throughput = min(offered, capacity) * (
                             1.0 - conditions.loss_rate
                         )
                     elif kind.protocol == "tcp":
@@ -300,6 +617,64 @@ class Campaign:
         return records, test_id
 
 
-def run_campaign(config: CampaignConfig | None = None) -> DriveDataset:
+# -- checkpoint I/O ------------------------------------------------------
+
+
+def _load_checkpoint(path: str | os.PathLike, fingerprint: str) -> dict[int, dict]:
+    """Completed drives from a checkpoint, keyed by drive id.
+
+    Raises ``ValueError`` when the checkpoint belongs to a different
+    config (fingerprint mismatch) — silently merging would corrupt the
+    dataset.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint {os.fspath(path)!r} has version "
+            f"{payload.get('version')!r}, expected {CHECKPOINT_VERSION}"
+        )
+    if payload.get("fingerprint") != fingerprint:
+        raise ValueError(
+            f"checkpoint {os.fspath(path)!r} was written by a different "
+            f"campaign config (fingerprint {payload.get('fingerprint')!r} "
+            f"!= {fingerprint!r}); delete it or fix the config"
+        )
+    drives: dict[int, dict] = {}
+    for key, raw in payload["drives"].items():
+        drives[int(key)] = {
+            **raw,
+            "records": [record_from_dict(r) for r in raw["records"]],
+        }
+    return drives
+
+
+def _write_checkpoint(
+    path: str | os.PathLike,
+    fingerprint: str,
+    drive_payloads: dict[int, dict],
+) -> None:
+    """Atomically persist completed drives (tmp file + rename)."""
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "drives": {
+            str(drive_id): {
+                **drive,
+                "records": [record_to_dict(r) for r in drive["records"]],
+            }
+            for drive_id, drive in drive_payloads.items()
+        },
+    }
+    tmp_path = f"{os.fspath(path)}.tmp"
+    with open(tmp_path, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp_path, path)
+
+
+def run_campaign(
+    config: CampaignConfig | None = None,
+    checkpoint_path: str | os.PathLike | None = None,
+) -> DriveDataset:
     """Convenience wrapper: build and run a campaign."""
-    return Campaign(config).run()
+    return Campaign(config).run(checkpoint_path=checkpoint_path)

@@ -79,6 +79,30 @@ class TestRecord:
         return self.network in STARLINK_NETWORKS
 
 
+def record_to_dict(rec: TestRecord) -> dict:
+    """JSON-safe dict for one test record (samples included).
+
+    Shared by :meth:`DriveDataset.save_json` and the campaign's
+    checkpoint writer, so both persist records identically.
+    """
+    return {
+        **{k: v for k, v in asdict(rec).items() if k != "samples"},
+        "samples": [
+            {**asdict(s), "area": s.area.value} for s in rec.samples
+        ],
+    }
+
+
+def record_from_dict(raw: dict) -> TestRecord:
+    """Rebuild a record serialized by :func:`record_to_dict`."""
+    raw = dict(raw)
+    samples = [
+        SecondSample(**{**s, "area": AreaType(s["area"])})
+        for s in raw.pop("samples")
+    ]
+    return TestRecord(**raw, samples=samples)
+
+
 class DriveDataset:
     """Everything one campaign produced."""
 
@@ -170,19 +194,7 @@ class DriveDataset:
             "area_proportions": {
                 area.value: share for area, share in self.area_proportions.items()
             },
-            "records": [
-                {
-                    **{
-                        k: v
-                        for k, v in asdict(rec).items()
-                        if k != "samples"
-                    },
-                    "samples": [
-                        {**asdict(s), "area": s.area.value} for s in rec.samples
-                    ],
-                }
-                for rec in self.records
-            ],
+            "records": [record_to_dict(rec) for rec in self.records],
         }
         with open(path, "w") as handle:
             json.dump(payload, handle)
@@ -225,13 +237,7 @@ class DriveDataset:
         """Load a dataset written by :meth:`save_json`."""
         with open(path) as handle:
             payload = json.load(handle)
-        records = []
-        for raw in payload["records"]:
-            samples = [
-                SecondSample(**{**s, "area": AreaType(s["area"])})
-                for s in raw.pop("samples")
-            ]
-            records.append(TestRecord(**raw, samples=samples))
+        records = [record_from_dict(raw) for raw in payload["records"]]
         return cls(
             records,
             trace_minutes=payload["trace_minutes"],

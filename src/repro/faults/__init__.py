@@ -1,0 +1,41 @@
+"""Fault injection: deterministic disruption regimes for drive campaigns.
+
+The paper's measurements are shaped by things going wrong — obstructions,
+weather, satellite handover gaps, dead cellular sectors.  This package
+makes those first-class: typed fault events, a seed-driven immutable
+:class:`FaultSchedule`, and a :class:`FaultInjector` that composes over
+any channel's ``sample()`` without the channel knowing.  See
+``docs/FAULTS.md`` for the fault model and its mapping to the paper.
+"""
+
+from repro.faults.events import (
+    CellSectorOutage,
+    EVENT_TYPES,
+    FaultEffect,
+    FaultEvent,
+    FaultKind,
+    GatewayFailure,
+    ObstructionBurst,
+    SatelliteOutage,
+    WeatherFront,
+    event_from_dict,
+)
+from repro.faults.generate import generate_schedule
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "CellSectorOutage",
+    "EVENT_TYPES",
+    "FaultEffect",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "GatewayFailure",
+    "ObstructionBurst",
+    "SatelliteOutage",
+    "WeatherFront",
+    "event_from_dict",
+    "generate_schedule",
+]

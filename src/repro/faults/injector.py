@@ -1,0 +1,81 @@
+"""FaultInjector: composes a fault schedule over any channel's sample().
+
+The injector quacks like a channel (``sample`` + ``reset``), so the
+campaign — and anything else that consumes per-second
+:class:`repro.conditions.LinkConditions` — can be fault-injected without
+the channel models knowing faults exist.  Blackout seconds skip the
+wrapped channel entirely; attenuating faults sample the channel and then
+apply :meth:`LinkConditions.degraded`.
+
+The injector also counts what it did (per-kind affected seconds, forced
+outage seconds), which the campaign rolls up into its
+:class:`repro.core.campaign.CampaignReport`.
+"""
+
+from __future__ import annotations
+
+from repro.conditions import LinkConditions, outage
+from repro.faults.schedule import FaultSchedule
+from repro.geo.classify import AreaType
+from repro.geo.coords import GeoPoint
+
+
+class FaultInjector:
+    """Wrap one network's channel with a campaign fault schedule."""
+
+    #: Loss-burst length reported for faulted-but-alive seconds: fault
+    #: loss is clustered (an event, not thermal noise).
+    FAULT_LOSS_BURST = 40.0
+
+    def __init__(
+        self,
+        channel,
+        network: str,
+        schedule: FaultSchedule,
+        drive_id: int = 0,
+    ):
+        self.channel = channel
+        self.network = network
+        self.schedule = schedule
+        self.drive_id = drive_id
+        #: fault-kind value -> seconds this injector altered.
+        self.fault_seconds: dict[str, int] = {}
+        #: Seconds forced to a full outage by a blackout fault.
+        self.outage_seconds = 0
+
+    def sample(
+        self,
+        time_s: float,
+        position: GeoPoint,
+        speed_kmh: float,
+        area: AreaType,
+    ) -> LinkConditions:
+        """Channel conditions for this second, faults applied."""
+        hits = self.schedule.active_events(
+            self.network, self.drive_id, time_s, position
+        )
+        if not hits:
+            return self.channel.sample(time_s, position, speed_kmh, area)
+
+        for event, _ in hits:
+            key = event.kind.value
+            self.fault_seconds[key] = self.fault_seconds.get(key, 0) + 1
+        combined = FaultSchedule.compose([effect for _, effect in hits])
+
+        if combined.blackout:
+            # The link is gone: do not advance the channel's stochastic
+            # state for a second it never served.
+            self.outage_seconds += 1
+            return outage(time_s, loss_burst=self.FAULT_LOSS_BURST)
+
+        conditions = self.channel.sample(time_s, position, speed_kmh, area)
+        return conditions.degraded(
+            capacity_factor=combined.capacity_factor,
+            extra_loss=combined.extra_loss,
+            extra_rtt_ms=combined.extra_rtt_ms,
+            loss_burst=max(conditions.loss_burst, self.FAULT_LOSS_BURST),
+        )
+
+    def reset(self) -> None:
+        """Reset the wrapped channel (counters persist for reporting)."""
+        self.channel.reset()
