@@ -5,9 +5,26 @@ the reproduced rows (the same rows/series the paper reports) so a run of
 ``pytest benchmarks/ --benchmark-only`` doubles as the reproduction log.
 Durations are scaled-down versions of the paper's tests; EXPERIMENTS.md
 records the scaling and the paper-vs-measured comparison.
+
+The session also times every benchmark through :mod:`repro.obs` spans
+and writes ``BENCH_obs.json`` at the repo root — the machine-readable
+wall-time baseline future perf PRs are compared against.
 """
 
+import json
+import os
+
 import pytest
+
+from repro.obs import ObsRecorder
+
+#: Recorder shared by the whole benchmark session.
+_RECORDER = ObsRecorder()
+
+#: Where the timing baseline lands (repo root, next to EXPERIMENTS.md).
+_BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_obs.json"
+)
 
 
 def print_rows(title: str, result) -> None:
@@ -22,4 +39,35 @@ def medium_dataset():
     """One shared medium campaign for the distribution figures."""
     from repro.experiments.common import campaign_dataset
 
-    return campaign_dataset("medium", 0)
+    with _RECORDER.span("benchmark.fixture", name="medium_dataset"):
+        return campaign_dataset("medium", 0)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Wrap each benchmark's call phase in an obs span."""
+    with _RECORDER.span("benchmark", test=item.nodeid):
+        yield
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist per-benchmark wall times (only when something was timed)."""
+    spans = _RECORDER.tracer.by_name("benchmark")
+    if not spans:
+        return
+    payload = {
+        "format": "repro.obs.bench",
+        "version": 1,
+        "timings": _RECORDER.tracer.timings(),
+        "benchmarks": [
+            {"test": s.meta.get("test", "?"), "wall_s": round(s.duration_s, 6)}
+            for s in sorted(spans, key=lambda s: s.meta.get("test", ""))
+        ],
+        "fixtures": [
+            {"name": s.meta.get("name", "?"), "wall_s": round(s.duration_s, 6)}
+            for s in _RECORDER.tracer.by_name("benchmark.fixture")
+        ],
+    }
+    with open(_BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -9,7 +9,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments.common import collect_conditions
 from repro.geo.classify import AreaType

@@ -10,7 +10,6 @@ A tour of the pieces under the Starlink channel model:
 Run:  python examples/constellation_explorer.py
 """
 
-import numpy as np
 
 from repro.geo.coords import GeoPoint
 from repro.geo.places import PlaceDatabase

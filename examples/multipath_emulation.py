@@ -13,7 +13,6 @@ Reproduces the paper's Section 6 workflow end to end:
 Run:  python examples/multipath_emulation.py
 """
 
-import numpy as np
 
 from repro.experiments.common import collect_conditions, mean_capacity_mbps
 from repro.tools.iperf import run_mptcp_test, run_single_path_over_mpshell

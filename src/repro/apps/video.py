@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 #: A conventional HD bitrate ladder (Mbps), 240p .. 4K.
 DEFAULT_LADDER_MBPS = (0.4, 1.0, 2.5, 5.0, 8.0, 16.0)

@@ -16,6 +16,7 @@ from repro.cellular.propagation import CorrelatedShadowing, snr_db
 from repro.conditions import LinkConditions, outage
 from repro.geo.classify import AreaType
 from repro.geo.coords import GeoPoint
+from repro.obs.recorder import get_recorder
 from repro.rng import RngStreams
 
 
@@ -28,7 +29,12 @@ class CellularChannel:
     #: rare moments HARQ gives up (cell edge, handover).
     LOSS_BURST = 8.0
 
-    def __init__(self, carrier: CarrierProfile, rng: RngStreams | None = None):
+    def __init__(
+        self,
+        carrier: CarrierProfile,
+        rng: RngStreams | None = None,
+        recorder=None,
+    ):
         rng = rng or RngStreams(0)
         self.carrier = carrier
         self._gen = rng.get(f"cellular.channel.{carrier.short_name}")
@@ -38,6 +44,12 @@ class CellularChannel:
         self._band: Band | None = None
         self._band_until_s = -1.0
         self._hole_until_s = -1.0
+        obs = recorder if recorder is not None else get_recorder()
+        network = carrier.short_name
+        self._m_samples = obs.counter("channel.samples", network=network)
+        self._m_outage = obs.counter("channel.outage_seconds", network=network)
+        self._m_handovers = obs.counter("channel.handovers", network=network)
+        self._counted_handovers = 0
 
     def sample(
         self,
@@ -47,17 +59,25 @@ class CellularChannel:
         area: AreaType,
     ) -> LinkConditions:
         """Link conditions for this second of driving."""
+        self._m_samples.inc()
         # Coverage holes: several-second dead zones, more likely rurally and
         # on sparse carriers.
         if time_s < self._hole_until_s:
+            self._m_outage.inc()
             return outage(time_s)
         if self._gen.random() < self.carrier.hole_probability[area] / 8.0:
             # Hole durations of 3-15 s at the hole entry rate above yield
             # the per-sample hole probabilities in the carrier profile.
             self._hole_until_s = time_s + float(self._gen.uniform(3.0, 15.0))
+            self._m_outage.inc()
             return outage(time_s)
 
         distance_km = self.tracker.step(area, speed_kmh)
+        if self.tracker.handover_count != self._counted_handovers:
+            self._m_handovers.inc(
+                self.tracker.handover_count - self._counted_handovers
+            )
+            self._counted_handovers = self.tracker.handover_count
         shadow_db = self.shadowing.step(speed_kmh)
         snr = snr_db(distance_km, self._gen, shadowing_db=shadow_db)
 
@@ -67,6 +87,7 @@ class CellularChannel:
                 # Zero-coverage area for this carrier: a dead zone is an
                 # outage second, not a crash in the band sampler.
                 self._band = None
+                self._m_outage.inc()
                 return outage(time_s, loss_burst=self.LOSS_BURST)
             self._band = draw_band(mix, self._gen)
             self._band_until_s = time_s + self.BAND_DWELL_S
@@ -110,3 +131,4 @@ class CellularChannel:
         self._band = None
         self._band_until_s = -1.0
         self._hole_until_s = -1.0
+        self._counted_handovers = self.tracker.handover_count

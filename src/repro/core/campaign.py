@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 import traceback as traceback_module
 from dataclasses import dataclass, field
 
@@ -47,6 +48,8 @@ from repro.leo.channel import StarlinkChannel
 from repro.leo.constellation import Constellation
 from repro.leo.dish import dish_for_plan, DishPlan
 from repro.leo.gateway import GatewayNetwork
+from repro.obs.manifest import RunManifest
+from repro.obs.recorder import get_recorder
 from repro.rng import RngStreams
 from repro.tools.tracker import Tracker
 
@@ -199,6 +202,23 @@ class CampaignConfig:
         )
 
     @classmethod
+    def small(cls, seed: int = 0) -> "CampaignConfig":
+        """One capped interstate drive crossing urban/suburban/rural.
+
+        The ``"small"`` scale of :mod:`repro.experiments.common`, exposed
+        here so scripts (and the observability examples) can build it
+        without importing the experiments layer.
+        """
+        return cls(
+            seed=seed,
+            num_interstate_drives=1,
+            num_city_drives=0,
+            max_drive_seconds=3900.0,
+            test_duration_s=30.0,
+            window_period_s=60.0,
+        )
+
+    @classmethod
     def smoke(cls, seed: int = 0) -> "CampaignConfig":
         """Tiny campaign for unit tests."""
         return cls(
@@ -296,10 +316,19 @@ class CampaignReport:
 
 
 class Campaign:
-    """Builds the world once, then simulates every drive."""
+    """Builds the world once, then simulates every drive.
 
-    def __init__(self, config: CampaignConfig | None = None):
+    ``recorder`` threads a :mod:`repro.obs` recorder through every layer
+    the campaign owns (channels, fault injectors, the orchestration loop
+    itself); omitted, it resolves the process-wide default — a
+    :class:`~repro.obs.recorder.NullRecorder` unless something installed
+    one — so instrumentation costs nothing and changes nothing unless
+    observability is switched on.
+    """
+
+    def __init__(self, config: CampaignConfig | None = None, recorder=None):
         self.config = config or CampaignConfig()
+        self.obs = recorder if recorder is not None else get_recorder()
         self.rng = RngStreams(self.config.seed)
         self.places = PlaceDatabase.synthetic(self.rng)
         self.classifier = AreaClassifier(self.places)
@@ -308,10 +337,18 @@ class Campaign:
         self.route_generator = RouteGenerator(self.places, self.rng)
         #: Filled by :meth:`run`.
         self.report: CampaignReport | None = None
+        #: Filled by :meth:`run` when the recorder is enabled.
+        self.manifest: RunManifest | None = None
+        #: Per-drive wall-clock rows for the manifest.
+        self._drive_rows: list[dict] = []
 
     # -- public API -----------------------------------------------------
 
-    def run(self, checkpoint_path: str | os.PathLike | None = None) -> DriveDataset:
+    def run(
+        self,
+        checkpoint_path: str | os.PathLike | None = None,
+        manifest_path: str | os.PathLike | None = None,
+    ) -> DriveDataset:
         """Simulate the whole campaign and return the dataset.
 
         With ``checkpoint_path``, progress is written there after every
@@ -322,33 +359,94 @@ class Campaign:
 
         A drive that raises is captured as a :class:`DriveFailure` in
         :attr:`report` and the campaign continues with the next drive.
+
+        With an enabled recorder, a :class:`RunManifest` (config
+        fingerprint, versions, per-drive timings, metric snapshot) is
+        written to ``manifest_path`` — defaulting to
+        ``<checkpoint_path>.manifest.json`` next to the checkpoint —
+        and kept on :attr:`manifest`.
         """
         cfg = self.config
         fingerprint = cfg.fingerprint()
-        routes = self._routes()
+        obs = self.obs
+        self._drive_rows = []
 
-        drive_payloads: dict[int, dict] = {}
-        resumed = 0
-        if checkpoint_path is not None and os.path.exists(checkpoint_path):
-            drive_payloads = _load_checkpoint(checkpoint_path, fingerprint)
-            resumed = len(drive_payloads)
+        with obs.span("campaign.run", fingerprint=fingerprint):
+            routes = self._routes()
 
-        failures: list[DriveFailure] = []
-        for drive_id, route in enumerate(routes):
-            if drive_id in drive_payloads:
-                continue
-            try:
-                drive_payloads[drive_id] = self._simulate_drive(drive_id, route)
-            except Exception as exc:  # noqa: BLE001 — isolation is the point
-                failures.append(
-                    DriveFailure.from_exception(drive_id, route.name, exc)
-                )
-            if checkpoint_path is not None:
-                _write_checkpoint(checkpoint_path, fingerprint, drive_payloads)
+            drive_payloads: dict[int, dict] = {}
+            resumed = 0
+            if checkpoint_path is not None and os.path.exists(checkpoint_path):
+                with obs.span("campaign.resume"):
+                    drive_payloads = _load_checkpoint(checkpoint_path, fingerprint)
+                resumed = len(drive_payloads)
+                obs.counter("campaign.drives_resumed").inc(resumed)
 
-        return self._assemble(
-            routes, drive_payloads, failures, resumed, checkpoint_path
-        )
+            failures: list[DriveFailure] = []
+            drive_seconds = obs.histogram(
+                "campaign.drive_seconds", buckets=(0.1, 0.5, 1, 5, 10, 60, 300, 1800)
+            )
+            for drive_id, route in enumerate(routes):
+                if drive_id in drive_payloads:
+                    continue
+                started = time.perf_counter()
+                try:
+                    with obs.span(
+                        "campaign.drive", drive=drive_id, route=route.name
+                    ):
+                        drive_payloads[drive_id] = self._simulate_drive(
+                            drive_id, route
+                        )
+                except Exception as exc:  # noqa: BLE001 — isolation is the point
+                    failures.append(
+                        DriveFailure.from_exception(drive_id, route.name, exc)
+                    )
+                    obs.counter("campaign.drives_failed").inc()
+                else:
+                    elapsed = time.perf_counter() - started
+                    tests = len(drive_payloads[drive_id]["records"])
+                    obs.counter("campaign.drives_completed").inc()
+                    obs.counter("campaign.tests").inc(tests)
+                    drive_seconds.observe(elapsed)
+                    obs.gauge(
+                        "campaign.tests_per_s", drive=str(drive_id)
+                    ).set(tests / elapsed if elapsed > 0 else 0.0)
+                    if obs.enabled:
+                        self._drive_rows.append(
+                            {
+                                "drive": drive_id,
+                                "route": route.name,
+                                "duration_s": elapsed,
+                                "tests": tests,
+                            }
+                        )
+                if checkpoint_path is not None:
+                    with obs.span("campaign.checkpoint"):
+                        _write_checkpoint(
+                            checkpoint_path, fingerprint, drive_payloads
+                        )
+
+            dataset = self._assemble(
+                routes, drive_payloads, failures, resumed, checkpoint_path
+            )
+
+        if obs.enabled:
+            if manifest_path is None and checkpoint_path is not None:
+                manifest_path = f"{os.fspath(checkpoint_path)}.manifest.json"
+            self.manifest = RunManifest.from_recorder(
+                obs,
+                fingerprint,
+                drives=self._drive_rows,
+                num_tests=dataset.num_tests,
+                distance_km=round(dataset.distance_km, 3),
+                trace_minutes=round(dataset.trace_minutes, 3),
+                drives_total=len(routes),
+                drives_failed=len(failures),
+                drives_resumed=resumed,
+            )
+            if manifest_path is not None:
+                self.manifest.save_json(manifest_path)
+        return dataset
 
     # -- internals ---------------------------------------------------------
 
@@ -432,7 +530,11 @@ class Campaign:
         if cfg.fault_schedule:
             channels = {
                 network: FaultInjector(
-                    channel, network, cfg.fault_schedule, drive_id=drive_id
+                    channel,
+                    network,
+                    cfg.fault_schedule,
+                    drive_id=drive_id,
+                    recorder=self.obs,
                 )
                 for network, channel in channels.items()
             }
@@ -510,10 +612,11 @@ class Campaign:
                 gateways=self.gateways,
                 places=self.places,
                 rng=drive_rng,
+                recorder=self.obs,
             )
         for carrier_name in CELLULAR_NETWORKS:
             channels[carrier_name] = CellularChannel(
-                carrier_by_short_name(carrier_name), drive_rng
+                carrier_by_short_name(carrier_name), drive_rng, recorder=self.obs
             )
         return channels
 
@@ -675,6 +778,10 @@ def _write_checkpoint(
 def run_campaign(
     config: CampaignConfig | None = None,
     checkpoint_path: str | os.PathLike | None = None,
+    recorder=None,
+    manifest_path: str | os.PathLike | None = None,
 ) -> DriveDataset:
     """Convenience wrapper: build and run a campaign."""
-    return Campaign(config).run(checkpoint_path=checkpoint_path)
+    return Campaign(config, recorder=recorder).run(
+        checkpoint_path=checkpoint_path, manifest_path=manifest_path
+    )

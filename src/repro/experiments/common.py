@@ -22,7 +22,6 @@ from repro.core.dataset import (
 from repro.geo.mobility import VehicleTrace
 from repro.leo.channel import StarlinkChannel
 from repro.leo.dish import DishPlan, dish_for_plan
-from repro.rng import RngStreams
 
 #: Campaign sizes for experiments: "small" for unit tests, "medium" for
 #: benchmark runs, "paper" for the full-scale reproduction.
@@ -34,14 +33,7 @@ def config_for_scale(scale: str, seed: int = 0) -> CampaignConfig:
     if scale == "small":
         # One capped interstate drive that still crosses urban, suburban,
         # and rural stretches (the metro exit takes ~20 minutes).
-        return CampaignConfig(
-            seed=seed,
-            num_interstate_drives=1,
-            num_city_drives=0,
-            max_drive_seconds=3900.0,
-            test_duration_s=30.0,
-            window_period_s=60.0,
-        )
+        return CampaignConfig.small(seed=seed)
     if scale == "medium":
         return CampaignConfig(
             seed=seed,

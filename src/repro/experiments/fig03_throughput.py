@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.analysis import SummaryStats
 from repro.core.dataset import CELLULAR_NETWORKS, DriveDataset

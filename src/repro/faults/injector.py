@@ -18,6 +18,7 @@ from repro.conditions import LinkConditions, outage
 from repro.faults.schedule import FaultSchedule
 from repro.geo.classify import AreaType
 from repro.geo.coords import GeoPoint
+from repro.obs.recorder import get_recorder
 
 
 class FaultInjector:
@@ -33,6 +34,7 @@ class FaultInjector:
         network: str,
         schedule: FaultSchedule,
         drive_id: int = 0,
+        recorder=None,
     ):
         self.channel = channel
         self.network = network
@@ -42,6 +44,11 @@ class FaultInjector:
         self.fault_seconds: dict[str, int] = {}
         #: Seconds forced to a full outage by a blackout fault.
         self.outage_seconds = 0
+        self._obs = recorder if recorder is not None else get_recorder()
+        self._m_outage = self._obs.counter(
+            "faults.outage_seconds", network=network
+        )
+        self._m_kind_seconds: dict[str, object] = {}
 
     def sample(
         self,
@@ -60,12 +67,20 @@ class FaultInjector:
         for event, _ in hits:
             key = event.kind.value
             self.fault_seconds[key] = self.fault_seconds.get(key, 0) + 1
+            counter = self._m_kind_seconds.get(key)
+            if counter is None:
+                counter = self._obs.counter(
+                    "faults.fault_seconds", kind=key, network=self.network
+                )
+                self._m_kind_seconds[key] = counter
+            counter.inc()
         combined = FaultSchedule.compose([effect for _, effect in hits])
 
         if combined.blackout:
             # The link is gone: do not advance the channel's stochastic
             # state for a second it never served.
             self.outage_seconds += 1
+            self._m_outage.inc()
             return outage(time_s, loss_burst=self.FAULT_LOSS_BURST)
 
         conditions = self.channel.sample(time_s, position, speed_kmh, area)

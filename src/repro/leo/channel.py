@@ -24,6 +24,7 @@ from repro.leo.dish import DishModel
 from repro.leo.gateway import GatewayNetwork
 from repro.leo.handover import HandoverProcess
 from repro.leo.visibility import VisibilityModel
+from repro.obs.recorder import get_recorder
 from repro.rng import RngStreams
 
 
@@ -60,6 +61,7 @@ class StarlinkChannel:
         places: PlaceDatabase | None = None,
         rng: RngStreams | None = None,
         weather: WeatherState = CLEAR,
+        recorder=None,
     ):
         rng = rng or RngStreams(0)
         places = places or PlaceDatabase.synthetic(rng)
@@ -78,6 +80,12 @@ class StarlinkChannel:
         self._sector_refresh_s = -1e9
         self._sectors: list[tuple[float, float]] = []
         self._positions_cache: tuple[float, np.ndarray] | None = None
+        obs = recorder if recorder is not None else get_recorder()
+        network = dish.plan.value
+        self._m_samples = obs.counter("channel.samples", network=network)
+        self._m_outage = obs.counter("channel.outage_seconds", network=network)
+        self._m_handovers = obs.counter("channel.handovers", network=network)
+        self._last_serving = -1
 
     def sample(
         self,
@@ -87,10 +95,13 @@ class StarlinkChannel:
         area: AreaType,
     ) -> LinkConditions:
         """Link conditions for this second of driving."""
+        self._m_samples.inc()
         sky = self.obstruction.step(area)
         if sky.deep_blockage:
             # An overpass / canyon fully breaks the satellite link.
             self.handover.step(time_s, [])
+            self._last_serving = -1
+            self._m_outage.inc()
             return outage(time_s)
 
         # Refresh the random azimuth blockage wedges every ~30 s of driving
@@ -109,7 +120,15 @@ class StarlinkChannel:
             blocked_sectors=self._sectors,
         )
         state = self.handover.step(time_s, [c.index for c in candidates])
-        if state.serving_satellite == -1:
+        serving_id = state.serving_satellite
+        if serving_id != self._last_serving:
+            # A switch between two live satellites is a handover; falling
+            # to or recovering from -1 is an outage edge, counted above.
+            if serving_id != -1 and self._last_serving != -1:
+                self._m_handovers.inc()
+            self._last_serving = serving_id
+        if serving_id == -1:
+            self._m_outage.inc()
             return outage(time_s)
 
         serving = next(
@@ -120,6 +139,7 @@ class StarlinkChannel:
             # The handover process can keep reporting a satellite that has
             # already slipped below the mask or behind an obstruction;
             # that is a tracking gap, not a programming error.
+            self._m_outage.inc()
             return outage(time_s, loss_burst=self.LOSS_BURST)
 
         capacity_dl, capacity_ul = self._capacities(
@@ -211,3 +231,4 @@ class StarlinkChannel:
         self._load = 0.5
         self._sector_refresh_s = -1e9
         self._sectors = []
+        self._last_serving = -1

@@ -11,15 +11,21 @@ import heapq
 import itertools
 from typing import Callable
 
+from repro.obs.recorder import get_recorder
+
 
 class Simulator:
     """Event loop: schedule callbacks at absolute or relative times."""
 
-    def __init__(self):
+    def __init__(self, recorder=None):
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self.now = 0.0
         self._stopped = False
+        obs = recorder if recorder is not None else get_recorder()
+        self._m_fired = obs.counter("sim.events_fired")
+        self._m_cancelled = obs.counter("sim.events_cancelled")
+        self._m_heap_max = obs.gauge("sim.heap_depth_max")
 
     def schedule(self, delay_s: float, callback: Callable[[], None]) -> "EventHandle":
         """Run ``callback`` after ``delay_s`` seconds of simulated time."""
@@ -35,10 +41,17 @@ class Simulator:
             )
         handle = EventHandle(callback)
         heapq.heappush(self._heap, (time_s, next(self._counter), handle))
+        self._m_heap_max.set_max(len(self._heap))
         return handle
 
     def run(self, until_s: float | None = None) -> None:
-        """Process events until the heap drains or time exceeds ``until_s``."""
+        """Process events until the heap drains, time exceeds ``until_s``,
+        or :meth:`stop` fires.
+
+        A run cut short by :meth:`stop` leaves ``now`` at the last
+        processed event; only a run that exhausts its window (or drains
+        the heap under a deadline) fast-forwards the clock to ``until_s``.
+        """
         self._stopped = False
         while self._heap and not self._stopped:
             time_s, _, handle = self._heap[0]
@@ -46,10 +59,12 @@ class Simulator:
                 break
             heapq.heappop(self._heap)
             if handle.cancelled:
+                self._m_cancelled.inc()
                 continue
             self.now = time_s
             handle.fire()
-        if until_s is not None and self.now < until_s:
+            self._m_fired.inc()
+        if until_s is not None and not self._stopped and self.now < until_s:
             self.now = until_s
 
     def stop(self) -> None:

@@ -1,0 +1,153 @@
+"""Command-line summaries of observability artifacts.
+
+Usage::
+
+    python -m repro.obs summary run.manifest.json   # ASCII tables
+    python -m repro.obs summary run.obs.jsonl
+    python -m repro.obs prom run.manifest.json      # Prometheus text
+
+``summary`` renders the run the way the figure benchmarks render the
+paper: per-drive wall-clock timings, channel sample/outage/handover
+totals, DES event counts, and the top counters, as compact ASCII tables
+(reusing :mod:`repro.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.obs.export import read_jsonl, to_prometheus_text
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.report import bar_chart
+
+
+def _load(path: str) -> RunManifest:
+    """A manifest from either a manifest JSON or a JSONL metrics dump."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no such artifact: {path!r}")
+    if path.endswith(".jsonl"):
+        recorder = read_jsonl(path)
+        return RunManifest.from_recorder(recorder, fingerprint="(jsonl dump)")
+    return RunManifest.load_json(path)
+
+
+def _labels_caption(labels: tuple[tuple[str, str], ...]) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels) or "(all)"
+
+
+def _series_chart(manifest: RunManifest, name: str, unit: str = "") -> str:
+    values = manifest.metric_values(name)
+    if not values:
+        return "(not recorded)"
+    labels = [_labels_caption(k) for k in values]
+    return bar_chart(labels, list(values.values()), unit=unit)
+
+
+def render_summary(manifest: RunManifest) -> str:
+    """The full ASCII summary for one manifest."""
+    out: list[str] = []
+    out.append(f"run fingerprint : {manifest.fingerprint}")
+    if manifest.created_at:
+        out.append(f"created at      : {manifest.created_at}")
+    if manifest.versions:
+        versions = "  ".join(f"{k} {v}" for k, v in sorted(manifest.versions.items()))
+        out.append(f"versions        : {versions}")
+    for key, value in sorted(manifest.extra.items()):
+        out.append(f"{key:<16}: {value}")
+
+    if manifest.drives:
+        out.append("")
+        out.append("== per-drive wall-clock ==")
+        labels = [
+            f"drive {d['drive']} {d.get('route', '?')}" for d in manifest.drives
+        ]
+        out.append(
+            bar_chart(labels, [d["duration_s"] for d in manifest.drives], unit="s")
+        )
+        tests = [d.get("tests", 0) for d in manifest.drives]
+        if any(tests):
+            out.append("")
+            out.append(bar_chart(labels, tests, unit=" tests"))
+
+    if manifest.timings:
+        out.append("")
+        out.append("== span timings (total wall seconds) ==")
+        names = sorted(
+            manifest.timings, key=lambda n: -manifest.timings[n]["total_s"]
+        )
+        out.append(
+            bar_chart(
+                [f"{n} x{manifest.timings[n]['count']:.0f}" for n in names],
+                [manifest.timings[n]["total_s"] for n in names],
+                unit="s",
+            )
+        )
+
+    sections = [
+        ("channel samples", "channel.samples", ""),
+        ("channel outage seconds", "channel.outage_seconds", "s"),
+        ("channel handovers", "channel.handovers", ""),
+        ("DES events fired", "sim.events_fired", ""),
+        ("DES events cancelled", "sim.events_cancelled", ""),
+        ("DES max heap depth", "sim.heap_depth_max", ""),
+        ("MPTCP scheduling decisions", "mptcp.scheduler.decisions", ""),
+        ("fault seconds", "faults.fault_seconds", "s"),
+    ]
+    for title, metric, unit in sections:
+        chart = _series_chart(manifest, metric, unit=unit)
+        if chart == "(not recorded)":
+            continue
+        out.append("")
+        out.append(f"== {title} ==")
+        out.append(chart)
+
+    shown = {metric for _, metric, _ in sections}
+    counters = [
+        entry
+        for entry in manifest.metrics
+        if entry["type"] == "counter" and entry["name"] not in shown
+    ]
+    if counters:
+        out.append("")
+        out.append("== other counters ==")
+        width = max(len(entry["name"]) for entry in counters)
+        for entry in sorted(counters, key=lambda e: (e["name"], sorted(e["labels"].items()))):
+            caption = _labels_caption(tuple(sorted(entry["labels"].items())))
+            out.append(f"{entry['name']:<{width}}  {caption:<24} {entry['value']:g}")
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarise repro.obs artifacts (manifests, JSONL dumps).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, helptext in (
+        ("summary", "render ASCII tables for a manifest or JSONL dump"),
+        ("prom", "print the metrics as Prometheus text exposition"),
+    ):
+        cmd = sub.add_parser(name, help=helptext)
+        cmd.add_argument("artifact", help="path to *.manifest.json or *.jsonl")
+    args = parser.parse_args(argv)
+
+    try:
+        manifest = _load(args.artifact)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "summary":
+        print(render_summary(manifest))
+    else:
+        registry = MetricsRegistry()
+        registry.restore(manifest.metrics)
+        print(to_prometheus_text(registry), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

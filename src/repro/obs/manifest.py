@@ -1,0 +1,122 @@
+"""RunManifest: the queryable record of one campaign run.
+
+Written next to campaign checkpoints, a manifest captures everything a
+later reader needs to interpret (or distrust) a dataset: the config
+fingerprint it was produced under, toolchain versions, wall-clock span
+timings, and a full metrics snapshot.  ``python -m repro.obs summary``
+renders one as ASCII tables.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+from dataclasses import dataclass, field
+
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class RunManifest:
+    """Config fingerprint + versions + timings + metric snapshot."""
+
+    fingerprint: str
+    created_at: str = ""
+    versions: dict[str, str] = field(default_factory=dict)
+    #: span name -> {count, total_s, min_s, max_s, mean_s}
+    timings: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: :meth:`MetricsRegistry.snapshot` entries.
+    metrics: list[dict] = field(default_factory=list)
+    #: Per-drive wall-clock rows: [{drive, route, duration_s, tests}, ...]
+    drives: list[dict] = field(default_factory=list)
+    #: Free-form run facts (num_tests, distance_km, ...).
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_recorder(
+        cls,
+        recorder,
+        fingerprint: str,
+        drives: list[dict] | None = None,
+        **extra,
+    ) -> "RunManifest":
+        """Snapshot an :class:`~repro.obs.recorder.ObsRecorder`."""
+        import numpy as np
+
+        import repro
+
+        return cls(
+            fingerprint=fingerprint,
+            created_at=datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            versions={
+                "repro": repro.__version__,
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+            },
+            timings=recorder.tracer.timings(),
+            metrics=recorder.registry.snapshot(),
+            drives=list(drives or []),
+            extra=dict(extra),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "fingerprint": self.fingerprint,
+            "created_at": self.created_at,
+            "versions": dict(self.versions),
+            "timings": {k: dict(v) for k, v in self.timings.items()},
+            "metrics": list(self.metrics),
+            "drives": list(self.drives),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RunManifest":
+        version = raw.get("version")
+        if version != MANIFEST_VERSION:
+            raise ValueError(
+                f"manifest version {version!r} not supported "
+                f"(expected {MANIFEST_VERSION})"
+            )
+        return cls(
+            fingerprint=raw["fingerprint"],
+            created_at=raw.get("created_at", ""),
+            versions=dict(raw.get("versions", {})),
+            timings={k: dict(v) for k, v in raw.get("timings", {}).items()},
+            metrics=list(raw.get("metrics", [])),
+            drives=list(raw.get("drives", [])),
+            extra=dict(raw.get("extra", {})),
+        )
+
+    def save_json(self, path: str | os.PathLike) -> None:
+        tmp_path = f"{os.fspath(path)}.tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load_json(cls, path: str | os.PathLike) -> "RunManifest":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- convenience lookups (CLI + tests) -------------------------------
+
+    def metric_values(self, name: str) -> dict[tuple[tuple[str, str], ...], float]:
+        """``{labels: value}`` for every series of one metric name."""
+        out: dict[tuple[tuple[str, str], ...], float] = {}
+        for entry in self.metrics:
+            if entry["name"] != name:
+                continue
+            labels = tuple(sorted(entry.get("labels", {}).items()))
+            if entry["type"] == "histogram":
+                out[labels] = float(entry["count"])
+            else:
+                out[labels] = float(entry["value"])
+        return out
+
+    def total(self, name: str) -> float:
+        """Sum of one metric name across all label sets."""
+        return sum(self.metric_values(name).values())

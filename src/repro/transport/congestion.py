@@ -9,7 +9,6 @@ tailored for such characteristics", Section 1).
 
 from __future__ import annotations
 
-import math
 from typing import Protocol
 
 

@@ -16,7 +16,7 @@ QUIC-with-FEC stack would occupy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.net.packet import Packet
 from repro.net.path import Path

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.net.host import Demux
 from repro.net.packet import ACK_SIZE_BYTES, Packet
 from repro.net.path import Path
 from repro.net.simulator import Simulator

@@ -4,11 +4,21 @@ The scheduler decides which subflow carries the next data segment.  BLEST
 (Ferlin et al., IFIP Networking 2016) is the Linux v5.19 default the paper
 ran: it avoids sending on a slow subflow when doing so is predicted to
 block the shared meta send window before the data would be acknowledged.
+
+Every scheduler records its decisions through :mod:`repro.obs`: one
+counter series per (scheduler, subflow) plus a "wait" series for the
+rounds where the scheduler deliberately sends nothing.  The concrete
+schedulers implement :meth:`SchedulerBase._pick`; the public
+:meth:`SchedulerBase.pick` wraps it with the bookkeeping so a decision is
+counted exactly once even when schedulers delegate to each other
+(``SatAware`` -> ``Blest``).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Protocol, Sequence
+
+from repro.obs.recorder import get_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.transport.mptcp.connection import MptcpConnection, Subflow
@@ -24,13 +34,49 @@ class Scheduler(Protocol):
     ) -> "Subflow | None": ...
 
 
-class RoundRobin:
-    """Cycle through subflows regardless of path quality (baseline)."""
+class SchedulerBase:
+    """Decision bookkeeping shared by all schedulers.
 
-    def __init__(self):
-        self._last = -1
+    Subclasses implement :meth:`_pick`; :meth:`pick` stays the public
+    entry point and records the outcome (per-subflow pick or a "wait")
+    under the scheduler's class name.
+    """
+
+    def __init__(self, recorder=None):
+        self._obs = recorder if recorder is not None else get_recorder()
+        self._m_waits = self._obs.counter(
+            "mptcp.scheduler.waits", scheduler=type(self).__name__.lower()
+        )
+        self._m_picks: dict[int, object] = {}
 
     def pick(self, available, connection):
+        chosen = self._pick(available, connection)
+        if chosen is None:
+            self._m_waits.inc()
+        else:
+            counter = self._m_picks.get(chosen.subflow_id)
+            if counter is None:
+                counter = self._obs.counter(
+                    "mptcp.scheduler.decisions",
+                    scheduler=type(self).__name__.lower(),
+                    subflow=str(chosen.subflow_id),
+                )
+                self._m_picks[chosen.subflow_id] = counter
+            counter.inc()
+        return chosen
+
+    def _pick(self, available, connection):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RoundRobin(SchedulerBase):
+    """Cycle through subflows regardless of path quality (baseline)."""
+
+    def __init__(self, recorder=None):
+        super().__init__(recorder=recorder)
+        self._last = -1
+
+    def _pick(self, available, connection):
         if not available:
             return None
         ids = sorted(sf.subflow_id for sf in available)
@@ -43,16 +89,16 @@ class RoundRobin:
         return next(sf for sf in available if sf.subflow_id == self._last)
 
 
-class MinRtt:
+class MinRtt(SchedulerBase):
     """Always prefer the lowest-SRTT subflow with window space."""
 
-    def pick(self, available, connection):
+    def _pick(self, available, connection):
         if not available:
             return None
         return min(available, key=lambda sf: sf.smoothed_rtt_s)
 
 
-class Blest:
+class Blest(SchedulerBase):
     """Blocking-estimation scheduler (the paper's kernel default).
 
     Prefer the fastest available subflow.  When only slower subflows have
@@ -62,14 +108,15 @@ class Blest:
     block the connection — so send nothing and wait for the fast subflow.
     """
 
-    def __init__(self, scaling_lambda: float = 1.0):
+    def __init__(self, scaling_lambda: float = 1.0, recorder=None):
+        super().__init__(recorder=recorder)
         if scaling_lambda <= 0:
             raise ValueError(
                 f"scaling lambda must be positive, got {scaling_lambda}"
             )
         self.scaling_lambda = scaling_lambda
 
-    def pick(self, available, connection):
+    def _pick(self, available, connection):
         if not available:
             return None
         fastest_overall = min(
@@ -113,8 +160,9 @@ class SatAware(Blest):
         guard_before_s: float = 0.8,
         guard_after_s: float = 0.7,
         scaling_lambda: float = 1.0,
+        recorder=None,
     ):
-        super().__init__(scaling_lambda=scaling_lambda)
+        super().__init__(scaling_lambda=scaling_lambda, recorder=recorder)
         if interval_s <= 0:
             raise ValueError(f"interval must be positive, got {interval_s}")
         if guard_before_s + guard_after_s >= interval_s:
@@ -131,7 +179,7 @@ class SatAware(Blest):
             or phase <= self.guard_after_s
         )
 
-    def pick(self, available, connection):
+    def _pick(self, available, connection):
         if self._in_guard_window(connection.sim.now):
             terrestrial = [
                 sf
@@ -139,12 +187,12 @@ class SatAware(Blest):
                 if sf.subflow_id not in self.satellite_subflow_ids
             ]
             if terrestrial:
-                return super().pick(terrestrial, connection)
+                return super()._pick(terrestrial, connection)
             return None  # hold rather than feed the closing window
-        return super().pick(available, connection)
+        return super()._pick(available, connection)
 
 
-def make_scheduler(name: str) -> Scheduler:
+def make_scheduler(name: str, recorder=None) -> Scheduler:
     """Factory: ``"blest"`` (kernel default), ``"minrtt"``, ``"roundrobin"``,
     or ``"sataware"`` (our LEO-aware extension)."""
     table = {
@@ -155,4 +203,4 @@ def make_scheduler(name: str) -> Scheduler:
     }
     if name not in table:
         raise KeyError(f"unknown scheduler {name!r}; options: {sorted(table)}")
-    return table[name]()
+    return table[name](recorder=recorder)

@@ -1,7 +1,6 @@
 """Cellular channel model behaviour."""
 
 import numpy as np
-import pytest
 
 from repro.cellular.channel import CellularChannel
 from repro.cellular.carriers import att, tmobile, verizon

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.campaign import Campaign, CampaignConfig, TestKind, run_campaign
+from repro.core.campaign import CampaignConfig, TestKind, run_campaign
 from repro.core.dataset import NETWORKS
 from repro.geo.classify import AreaType
 

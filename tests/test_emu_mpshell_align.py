@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.conditions import LinkConditions, outage
+from repro.conditions import LinkConditions
 from repro.emu.align import align_conditions
 from repro.emu.mpshell import MpShell, TraceLink
 from repro.emu.traces import throughput_to_opportunities_ms

@@ -4,7 +4,6 @@ Each test regenerates one paper figure at reduced scale and asserts the
 *shape* of the paper's result — who wins, roughly by what factor.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import REGISTRY, run_experiment

@@ -7,7 +7,6 @@ which fidelity level produced them.
 """
 
 import numpy as np
-import pytest
 
 from repro.conditions import LinkConditions, outage
 from repro.core.fluid import fluid_tcp_series, fluid_udp_series

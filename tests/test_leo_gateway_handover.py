@@ -5,7 +5,7 @@ import pytest
 
 from repro.geo.coords import GeoPoint, geodetic_to_ecef_km
 from repro.geo.places import PlaceDatabase
-from repro.leo.gateway import Gateway, GatewayNetwork
+from repro.leo.gateway import GatewayNetwork
 from repro.leo.handover import (
     RECONFIGURATION_INTERVAL_S,
     HandoverProcess,

@@ -102,3 +102,24 @@ def test_run_until_advances_clock_even_without_events():
     sim = Simulator()
     sim.run(until_s=7.0)
     assert sim.now == 7.0
+
+
+def test_stop_does_not_fast_forward_to_until():
+    """A stopped run stays at the last processed event's time.
+
+    Regression test: ``run(until_s=...)`` used to fast-forward ``now`` to
+    the deadline even when ``stop()`` had halted processing mid-window,
+    silently skipping the simulated span between the stop and the
+    deadline.
+    """
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run(until_s=10.0)
+    assert fired == ["a"]
+    assert sim.now == 1.0
+    # Resuming honours the remaining events and only then the deadline.
+    sim.run(until_s=10.0)
+    assert fired == ["a", "b"]
+    assert sim.now == 10.0

@@ -1,6 +1,5 @@
 """Measurement tools: iPerf harness, UDP-Ping, tracker."""
 
-import numpy as np
 import pytest
 
 from repro.conditions import LinkConditions, outage

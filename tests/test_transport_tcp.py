@@ -1,7 +1,6 @@
 """Packet-level TCP behaviour."""
 
 import numpy as np
-import pytest
 
 from repro.conditions import LinkConditions, outage
 from repro.net import FixedConditions, Path, Simulator
