@@ -39,6 +39,7 @@ from repro.core.dataset import (
 )
 from repro.core.fluid import FluidTcp
 from repro.faults import FaultInjector, FaultKind, FaultSchedule
+from repro.faults.injector import aggregate_fault_stats
 from repro.geo.classify import AreaClassifier, AreaType
 from repro.geo.coords import GeoPoint
 from repro.geo.mobility import VehicleTrace
@@ -68,6 +69,9 @@ UDP_OVERDRIVE = 1.2
 
 #: Checkpoint schema version.
 CHECKPOINT_VERSION = 1
+
+#: Bucket bounds for the per-drive wall-clock histogram.
+DRIVE_SECONDS_BUCKETS = (0.1, 0.5, 1, 5, 10, 60, 300, 1800)
 
 
 @dataclass(frozen=True)
@@ -122,6 +126,12 @@ class CampaignConfig:
     city_loop_segments: int = 30
     #: Optional deterministic fault schedule (see :mod:`repro.faults`).
     fault_schedule: FaultSchedule | None = None
+    #: Worker processes for drive execution.  ``1`` runs drives serially
+    #: in-process; ``N > 1`` shards drives across a process pool (see
+    #: :mod:`repro.core.parallel_campaign`).  Execution-only knob: it is
+    #: excluded from :meth:`fingerprint` because any worker count
+    #: produces byte-identical output.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -157,6 +167,8 @@ class CampaignConfig:
             raise ValueError(
                 f"fault_schedule must be a FaultSchedule, got {type(self.fault_schedule)}"
             )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     @property
     def num_drives(self) -> int:
@@ -165,7 +177,12 @@ class CampaignConfig:
         )
 
     def fingerprint(self) -> str:
-        """Stable content hash: guards checkpoint/config mismatches."""
+        """Stable content hash: guards checkpoint/config mismatches.
+
+        Covers every knob that shapes the dataset; ``workers`` is
+        deliberately excluded, so a checkpoint written by a serial run
+        resumes under any worker count (and vice versa).
+        """
         payload = {
             "seed": self.seed,
             "num_interstate_drives": self.num_interstate_drives,
@@ -202,16 +219,18 @@ class CampaignConfig:
         )
 
     @classmethod
-    def small(cls, seed: int = 0) -> "CampaignConfig":
-        """One capped interstate drive crossing urban/suburban/rural.
+    def small(cls, seed: int = 0, drives: int = 1) -> "CampaignConfig":
+        """Capped interstate drives crossing urban/suburban/rural.
 
         The ``"small"`` scale of :mod:`repro.experiments.common`, exposed
         here so scripts (and the observability examples) can build it
-        without importing the experiments layer.
+        without importing the experiments layer.  ``drives`` scales the
+        number of interstate drives (each with its own route); the
+        parallel-equivalence tests and scaling benchmark use ``drives=4``.
         """
         return cls(
             seed=seed,
-            num_interstate_drives=1,
+            num_interstate_drives=drives,
             num_city_drives=0,
             max_drive_seconds=3900.0,
             test_duration_s=30.0,
@@ -360,6 +379,11 @@ class Campaign:
         A drive that raises is captured as a :class:`DriveFailure` in
         :attr:`report` and the campaign continues with the next drive.
 
+        With ``config.workers > 1`` drives are sharded across a process
+        pool (:mod:`repro.core.parallel_campaign`) and merged in drive
+        order; dataset, checkpoint, and report are byte-identical to a
+        serial run, whatever the worker count.
+
         With an enabled recorder, a :class:`RunManifest` (config
         fingerprint, versions, per-drive timings, metric snapshot) is
         written to ``manifest_path`` — defaulting to
@@ -382,49 +406,16 @@ class Campaign:
                 resumed = len(drive_payloads)
                 obs.counter("campaign.drives_resumed").inc(resumed)
 
-            failures: list[DriveFailure] = []
-            drive_seconds = obs.histogram(
-                "campaign.drive_seconds", buckets=(0.1, 0.5, 1, 5, 10, 60, 300, 1800)
-            )
-            for drive_id, route in enumerate(routes):
-                if drive_id in drive_payloads:
-                    continue
-                started = time.perf_counter()
-                try:
-                    with obs.span(
-                        "campaign.drive", drive=drive_id, route=route.name
-                    ):
-                        drive_payloads[drive_id] = self._simulate_drive(
-                            drive_id, route
-                        )
-                except Exception as exc:  # noqa: BLE001 — isolation is the point
-                    failures.append(
-                        DriveFailure.from_exception(drive_id, route.name, exc)
-                    )
-                    obs.counter("campaign.drives_failed").inc()
-                else:
-                    elapsed = time.perf_counter() - started
-                    tests = len(drive_payloads[drive_id]["records"])
-                    obs.counter("campaign.drives_completed").inc()
-                    obs.counter("campaign.tests").inc(tests)
-                    drive_seconds.observe(elapsed)
-                    obs.gauge(
-                        "campaign.tests_per_s", drive=str(drive_id)
-                    ).set(tests / elapsed if elapsed > 0 else 0.0)
-                    if obs.enabled:
-                        self._drive_rows.append(
-                            {
-                                "drive": drive_id,
-                                "route": route.name,
-                                "duration_s": elapsed,
-                                "tests": tests,
-                            }
-                        )
-                if checkpoint_path is not None:
-                    with obs.span("campaign.checkpoint"):
-                        _write_checkpoint(
-                            checkpoint_path, fingerprint, drive_payloads
-                        )
+            if cfg.workers > 1:
+                from repro.core.parallel_campaign import run_drives_parallel
+
+                failures = run_drives_parallel(
+                    self, routes, drive_payloads, checkpoint_path, fingerprint
+                )
+            else:
+                failures = self._run_drives_serial(
+                    routes, drive_payloads, checkpoint_path, fingerprint
+                )
 
             dataset = self._assemble(
                 routes, drive_payloads, failures, resumed, checkpoint_path
@@ -449,6 +440,71 @@ class Campaign:
         return dataset
 
     # -- internals ---------------------------------------------------------
+
+    def _run_drives_serial(
+        self,
+        routes: list[Route],
+        drive_payloads: dict[int, dict],
+        checkpoint_path: str | os.PathLike | None,
+        fingerprint: str,
+    ) -> list[DriveFailure]:
+        """Run every not-yet-completed drive in this process, in order."""
+        obs = self.obs
+        failures: list[DriveFailure] = []
+        for drive_id, route in enumerate(routes):
+            if drive_id in drive_payloads:
+                continue
+            started = time.perf_counter()
+            try:
+                with obs.span(
+                    "campaign.drive", drive=drive_id, route=route.name
+                ):
+                    drive_payloads[drive_id] = self._simulate_drive(
+                        drive_id, route
+                    )
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                failures.append(
+                    DriveFailure.from_exception(drive_id, route.name, exc)
+                )
+                obs.counter("campaign.drives_failed").inc()
+            else:
+                self._note_drive_done(
+                    drive_id,
+                    route.name,
+                    time.perf_counter() - started,
+                    len(drive_payloads[drive_id]["records"]),
+                )
+            if checkpoint_path is not None:
+                with obs.span("campaign.checkpoint"):
+                    _write_checkpoint(
+                        checkpoint_path, fingerprint, drive_payloads
+                    )
+        return failures
+
+    def _note_drive_done(
+        self, drive_id: int, route_name: str, elapsed: float, tests: int
+    ) -> None:
+        """Per-drive completion bookkeeping, shared by serial and parallel
+        execution so both produce the same counters, histogram, gauges,
+        and manifest rows."""
+        obs = self.obs
+        obs.counter("campaign.drives_completed").inc()
+        obs.counter("campaign.tests").inc(tests)
+        obs.histogram(
+            "campaign.drive_seconds", buckets=DRIVE_SECONDS_BUCKETS
+        ).observe(elapsed)
+        obs.gauge("campaign.tests_per_s", drive=str(drive_id)).set(
+            tests / elapsed if elapsed > 0 else 0.0
+        )
+        if obs.enabled:
+            self._drive_rows.append(
+                {
+                    "drive": drive_id,
+                    "route": route_name,
+                    "duration_s": elapsed,
+                    "tests": tests,
+                }
+            )
 
     def _assemble(
         self,
@@ -544,20 +600,12 @@ class Campaign:
             drive_id, tracker, channels, drive_id * TEST_ID_STRIDE
         )
 
-        fault_seconds: dict[str, int] = {}
-        fault_outage_seconds = 0
-        for injector in injectors:
-            for kind, seconds in injector.fault_seconds.items():
-                fault_seconds[kind] = fault_seconds.get(kind, 0) + seconds
-            fault_outage_seconds += injector.outage_seconds
-
         return {
             "records": drive_records,
             "trace_minutes": tracker.duration_minutes * DEVICES_PER_VEHICLE,
             "distance_km": tracker.distance_km,
             "area_counts": {area.value: c for area, c in area_counts.items()},
-            "fault_seconds": fault_seconds,
-            "fault_outage_seconds": fault_outage_seconds,
+            **aggregate_fault_stats(injectors),
         }
 
     def _routes(self) -> list[Route]:
@@ -757,16 +805,24 @@ def _write_checkpoint(
     fingerprint: str,
     drive_payloads: dict[int, dict],
 ) -> None:
-    """Atomically persist completed drives (tmp file + rename)."""
+    """Atomically persist completed drives (tmp file + rename).
+
+    Drives are emitted in drive-id order regardless of completion order,
+    so a checkpoint from a parallel run is byte-identical to a serial
+    one (serial insertion order is already sorted).
+    """
     payload = {
         "version": CHECKPOINT_VERSION,
         "fingerprint": fingerprint,
         "drives": {
             str(drive_id): {
-                **drive,
-                "records": [record_to_dict(r) for r in drive["records"]],
+                **drive_payloads[drive_id],
+                "records": [
+                    record_to_dict(r)
+                    for r in drive_payloads[drive_id]["records"]
+                ],
             }
-            for drive_id, drive in drive_payloads.items()
+            for drive_id in sorted(drive_payloads)
         },
     }
     tmp_path = f"{os.fspath(path)}.tmp"

@@ -1,0 +1,198 @@
+"""Drive-sharded parallel campaign execution.
+
+Drives are embarrassingly parallel by construction: every drive derives
+its RNG family from ``rng.fork(drive_id)`` (a pure function of the
+campaign seed) and numbers its tests from ``drive_id * TEST_ID_STRIDE``,
+so a drive's payload is byte-identical whether the drives around it ran
+earlier, later, in another process, or not at all — the same invariant
+checkpoint/resume has always relied on.  This module exploits it: shard
+the not-yet-completed drives across a :class:`ProcessPoolExecutor`, let
+each worker rebuild the (deterministic, cheap) campaign world from the
+pickled config, and merge results back **in drive order** so the final
+dataset, checkpoint JSON, and campaign report are byte-identical to a
+serial run.
+
+Merge semantics, per drive in ascending drive-id order:
+
+* drive payloads land in the shared ``drive_payloads`` dict (the
+  checkpoint writer sorts by drive id, so mid-run checkpoints from any
+  completion order are valid resume points for any worker count);
+* worker metric snapshots fold into the parent registry via
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge` — counters and
+  histograms add, gauges are last-write-wins in drive order;
+* worker-measured drive durations are grafted into the parent tracer
+  (:meth:`~repro.obs.tracer.SpanTracer.record`) so ``campaign.drive``
+  still shows up in manifest timings;
+* a drive that raised inside a worker comes back as a structured
+  :class:`~repro.core.campaign.DriveFailure` (worker-side traceback
+  attached), keeping per-drive failure isolation identical to serial
+  execution.
+
+``KeyboardInterrupt`` (or any other ``BaseException``) is *not*
+isolation-captured — it aborts the pool after the last finished drive
+was checkpointed, which is what makes mid-parallel-run resume work.
+
+The pool prefers the ``fork`` start method when the platform offers it
+(cheap worker start; the parent's world pages are shared copy-on-write
+until the worker rebuilds its own) and falls back to the platform
+default elsewhere.  Workers are only ever handed the campaign *config*;
+nothing stateful crosses the process boundary in either direction except
+plain payload dicts and metric snapshots.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.obs.recorder import NULL_RECORDER, ObsRecorder
+
+# -- worker side ---------------------------------------------------------
+
+#: Per-worker-process state: the rebuilt campaign world and its routes,
+#: constructed once per process by :func:`_init_worker`.
+_WORKER: dict = {}
+
+
+def _init_worker(config) -> None:
+    """Process-pool initializer: rebuild the campaign world from config.
+
+    World construction is deterministic (named RNG substreams keyed off
+    the config seed) and takes ~1 ms, so every worker independently
+    arrives at the identical world a serial run would have built.
+    """
+    from repro.core.campaign import Campaign
+
+    campaign = Campaign(config, recorder=NULL_RECORDER)
+    _WORKER["campaign"] = campaign
+    _WORKER["routes"] = campaign._routes()
+
+
+def _run_drive(drive_id: int, observe: bool) -> dict:
+    """Simulate one drive in this worker; return a plain result dict.
+
+    ``observe`` mirrors the parent recorder's ``enabled`` flag: when set,
+    the drive runs under a fresh :class:`ObsRecorder` whose registry
+    snapshot rides back with the payload for the drive-order merge.
+    Ordinary exceptions become a failure entry (worker traceback
+    included); ``BaseException`` escapes and aborts the run, like a
+    ``KeyboardInterrupt`` in a serial campaign.
+    """
+    from repro.core.campaign import DriveFailure
+
+    campaign = _WORKER["campaign"]
+    route = _WORKER["routes"][drive_id]
+    recorder = ObsRecorder() if observe else NULL_RECORDER
+    campaign.obs = recorder
+    started = time.perf_counter()
+    try:
+        payload = campaign._simulate_drive(drive_id, route)
+    except Exception as exc:  # noqa: BLE001 — isolation, as in serial runs
+        return {
+            "drive_id": drive_id,
+            "ok": False,
+            "failure": DriveFailure.from_exception(
+                drive_id, route.name, exc
+            ).to_dict(),
+            "elapsed_s": time.perf_counter() - started,
+            "metrics": recorder.registry.snapshot() if observe else [],
+        }
+    return {
+        "drive_id": drive_id,
+        "ok": True,
+        "payload": payload,
+        "elapsed_s": time.perf_counter() - started,
+        "metrics": recorder.registry.snapshot() if observe else [],
+    }
+
+
+# -- parent side ---------------------------------------------------------
+
+
+def _mp_context():
+    """Prefer fork where available; otherwise the platform default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def run_drives_parallel(
+    campaign,
+    routes,
+    drive_payloads: dict[int, dict],
+    checkpoint_path: str | os.PathLike | None,
+    fingerprint: str,
+) -> list:
+    """Run every not-yet-completed drive across a process pool.
+
+    Fills ``drive_payloads`` in place (drives already present — e.g.
+    restored from a checkpoint — are never re-executed) and returns the
+    list of :class:`~repro.core.campaign.DriveFailure`, sorted by drive
+    id like a serial run's append order.
+    """
+    from repro.core.campaign import DriveFailure, _write_checkpoint
+
+    cfg = campaign.config
+    obs = campaign.obs
+    pending = [d for d in range(len(routes)) if d not in drive_payloads]
+    if not pending:
+        return []
+
+    max_workers = min(cfg.workers, len(pending))
+    results: dict[int, dict] = {}
+    with obs.span("campaign.parallel", workers=max_workers):
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=_mp_context(),
+            initializer=_init_worker,
+            initargs=(cfg,),
+        ) as pool:
+            futures = {
+                pool.submit(_run_drive, drive_id, obs.enabled): drive_id
+                for drive_id in pending
+            }
+            try:
+                for future in as_completed(futures):
+                    result = future.result()
+                    results[result["drive_id"]] = result
+                    if result["ok"]:
+                        drive_payloads[result["drive_id"]] = result["payload"]
+                    if checkpoint_path is not None:
+                        with obs.span("campaign.checkpoint"):
+                            _write_checkpoint(
+                                checkpoint_path, fingerprint, drive_payloads
+                            )
+            except BaseException:
+                # Abort (KeyboardInterrupt & co.): drop what hasn't
+                # started; whatever completed is already checkpointed,
+                # so a resume — at any worker count — picks up here.
+                for future in futures:
+                    future.cancel()
+                raise
+
+    failures: list = []
+    for drive_id in sorted(results):
+        result = results[drive_id]
+        if obs.enabled and result["metrics"]:
+            obs.registry.merge(result["metrics"])
+        if result["ok"]:
+            if obs.enabled:
+                obs.tracer.record(
+                    "campaign.drive",
+                    result["elapsed_s"],
+                    drive=drive_id,
+                    route=routes[drive_id].name,
+                )
+            campaign._note_drive_done(
+                drive_id,
+                routes[drive_id].name,
+                result["elapsed_s"],
+                len(result["payload"]["records"]),
+            )
+        else:
+            failures.append(DriveFailure(**result["failure"]))
+            obs.counter("campaign.drives_failed").inc()
+    return failures

@@ -7,8 +7,10 @@ Usage::
     python -m repro.experiments fig9 --scale small --seed 3
     python -m repro.experiments fig10 --duration 90
 
-Campaign-scale experiments accept ``--scale/--seed``; transport-scale
-experiments accept ``--duration/--seed``.
+Campaign-scale experiments accept ``--scale/--seed`` (plus ``--workers``
+to shard campaign generation across processes — output is byte-identical
+at any worker count); transport-scale experiments accept
+``--duration/--seed``.
 """
 
 from __future__ import annotations
@@ -34,6 +36,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", default="medium", help="campaign scale")
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for campaign generation (same output at "
+        "any count; see docs/API.md)",
+    )
+    parser.add_argument(
         "--duration", type=int, default=None, help="test duration (seconds)"
     )
     parser.add_argument(
@@ -51,6 +60,11 @@ def main(argv: list[str] | None = None) -> int:
         for key, (_, description) in sorted(REGISTRY.items()):
             print(f"  {key:<8} {description}")
         return 0
+
+    if args.workers != 1:
+        from repro.experiments.common import set_default_workers
+
+        set_default_workers(args.workers)
 
     module, description = REGISTRY[args.experiment]
     accepted = inspect.signature(module.run).parameters

@@ -27,6 +27,30 @@ from repro.leo.dish import DishPlan, dish_for_plan
 #: benchmark runs, "paper" for the full-scale reproduction.
 SCALES = ("small", "medium", "paper")
 
+#: Worker processes campaign datasets are generated with (see
+#: :attr:`repro.core.campaign.CampaignConfig.workers`).  Module-level so
+#: the CLI's ``--workers`` reaches every experiment without threading a
+#: parameter through each figure's ``run()`` signature.
+_default_workers = 1
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the worker count campaign datasets are generated with.
+
+    Execution-only: any worker count produces byte-identical datasets,
+    which is why :func:`campaign_dataset`'s memoization key deliberately
+    ignores it.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    global _default_workers
+    _default_workers = workers
+
+
+def default_workers() -> int:
+    """The worker count :func:`campaign_dataset` currently uses."""
+    return _default_workers
+
 
 def config_for_scale(scale: str, seed: int = 0) -> CampaignConfig:
     """Campaign configuration for a named scale."""
@@ -50,8 +74,15 @@ def config_for_scale(scale: str, seed: int = 0) -> CampaignConfig:
 
 @lru_cache(maxsize=4)
 def campaign_dataset(scale: str = "medium", seed: int = 0) -> DriveDataset:
-    """The memoized campaign dataset for a scale/seed."""
-    return Campaign(config_for_scale(scale, seed)).run()
+    """The memoized campaign dataset for a scale/seed.
+
+    Runs with :func:`default_workers` worker processes; the cache key is
+    (scale, seed) only because the dataset is byte-identical at any
+    worker count.
+    """
+    config = config_for_scale(scale, seed)
+    config.workers = _default_workers
+    return Campaign(config).run()
 
 
 @lru_cache(maxsize=8)

@@ -91,6 +91,35 @@ class FaultInjector:
             loss_burst=max(conditions.loss_burst, self.FAULT_LOSS_BURST),
         )
 
+    def stats(self) -> dict:
+        """This injector's accounting, in the shape drive payloads carry
+        (and campaign checkpoints persist): per-kind affected seconds plus
+        forced-outage seconds."""
+        return {
+            "fault_seconds": dict(self.fault_seconds),
+            "fault_outage_seconds": self.outage_seconds,
+        }
+
     def reset(self) -> None:
         """Reset the wrapped channel (counters persist for reporting)."""
         self.channel.reset()
+
+
+def aggregate_fault_stats(injectors) -> dict:
+    """Sum :meth:`FaultInjector.stats` across a drive's injectors.
+
+    One drive wraps every network's channel in its own injector; the
+    drive payload (and, across drives, the campaign report) carries the
+    sum.  Addition is exact (integer seconds), so aggregating per-drive
+    worker results in drive order reproduces a serial run's totals.
+    """
+    fault_seconds: dict[str, int] = {}
+    outage_seconds = 0
+    for injector in injectors:
+        for kind, seconds in injector.fault_seconds.items():
+            fault_seconds[kind] = fault_seconds.get(kind, 0) + seconds
+        outage_seconds += injector.outage_seconds
+    return {
+        "fault_seconds": fault_seconds,
+        "fault_outage_seconds": outage_seconds,
+    }

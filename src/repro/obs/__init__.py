@@ -20,13 +20,14 @@ from repro.obs.export import (
     to_prometheus_text,
     write_jsonl,
 )
-from repro.obs.manifest import RunManifest
+from repro.obs.manifest import RunManifest, WALL_CLOCK_METRICS
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_snapshots,
 )
 from repro.obs.recorder import (
     NULL_RECORDER,
@@ -50,7 +51,9 @@ __all__ = [
     "RunManifest",
     "Span",
     "SpanTracer",
+    "WALL_CLOCK_METRICS",
     "get_recorder",
+    "merge_snapshots",
     "parse_prometheus_text",
     "read_jsonl",
     "set_recorder",

@@ -17,6 +17,14 @@ from dataclasses import dataclass, field
 
 MANIFEST_VERSION = 1
 
+#: Metric series whose values are wall-clock measurements of the pipeline
+#: itself (not the simulation).  Everything else in a manifest is a pure
+#: function of the campaign config, which is what
+#: :meth:`RunManifest.deterministic_dict` exposes.
+WALL_CLOCK_METRICS = frozenset(
+    {"campaign.drive_seconds", "campaign.tests_per_s"}
+)
+
 
 @dataclass
 class RunManifest:
@@ -90,6 +98,35 @@ class RunManifest:
             drives=list(raw.get("drives", [])),
             extra=dict(raw.get("extra", {})),
         )
+
+    def deterministic_dict(self) -> dict:
+        """The manifest minus everything wall-clock.
+
+        Drops ``created_at``, span ``timings``, per-drive ``duration_s``,
+        and the :data:`WALL_CLOCK_METRICS` series; what remains is a pure
+        function of the campaign config, so two runs of the same config —
+        serial or parallel, any worker count — agree byte for byte on
+        :meth:`deterministic_blob`.
+        """
+        return {
+            "version": MANIFEST_VERSION,
+            "fingerprint": self.fingerprint,
+            "versions": dict(self.versions),
+            "metrics": [
+                entry
+                for entry in self.metrics
+                if entry["name"] not in WALL_CLOCK_METRICS
+            ],
+            "drives": [
+                {k: v for k, v in row.items() if k != "duration_s"}
+                for row in self.drives
+            ],
+            "extra": dict(self.extra),
+        }
+
+    def deterministic_blob(self) -> bytes:
+        """Canonical JSON bytes of :meth:`deterministic_dict`."""
+        return json.dumps(self.deterministic_dict(), sort_keys=True).encode()
 
     def save_json(self, path: str | os.PathLike) -> None:
         tmp_path = f"{os.fspath(path)}.tmp"

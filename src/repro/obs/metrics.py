@@ -214,6 +214,40 @@ class MetricsRegistry:
             else:
                 raise ValueError(f"unknown metric type {kind!r}")
 
+    def merge(self, entries: Iterable[dict]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Merge semantics (the contract parallel campaign workers rely on):
+        counters and histograms are additive; gauges are last-write-wins,
+        so callers apply worker snapshots in drive order.  A histogram
+        can only merge into a series with the same bucket bounds.
+        """
+        for entry in entries:
+            kind = entry["type"]
+            labels = entry.get("labels", {})
+            if kind == "counter":
+                self.counter(entry["name"], **labels).value += float(
+                    entry["value"]
+                )
+            elif kind == "gauge":
+                self.gauge(entry["name"], **labels).set(entry["value"])
+            elif kind == "histogram":
+                hist = self.histogram(
+                    entry["name"], buckets=entry["buckets"], **labels
+                )
+                bounds = tuple(sorted(float(b) for b in entry["buckets"]))
+                if bounds != hist.buckets:
+                    raise ValueError(
+                        f"histogram {entry['name']!r} bucket mismatch: "
+                        f"{bounds} != {hist.buckets}"
+                    )
+                for i, c in enumerate(entry["counts"]):
+                    hist.counts[i] += int(c)
+                hist.total += float(entry["sum"])
+                hist.count += int(entry["count"])
+            else:
+                raise ValueError(f"unknown metric type {kind!r}")
+
     def value(self, name: str, /, **labels: str) -> float:
         """Current value of a counter/gauge (0.0 when never touched).
 
@@ -231,3 +265,17 @@ class MetricsRegistry:
     def by_name(self, name: str) -> list[Counter | Gauge | Histogram]:
         """Every labelled series of one metric name."""
         return [m for m in self._metrics.values() if m.name == name]
+
+
+def merge_snapshots(*snapshots: Iterable[dict]) -> list[dict]:
+    """Merge :meth:`MetricsRegistry.snapshot` lists into one snapshot.
+
+    Pure function over snapshots: counters/histograms add, gauges take
+    the last written value in application order.  Associative (with
+    exact-in-float values such as integer counts), which is what lets
+    the parallel campaign merge worker snapshots incrementally.
+    """
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()

@@ -78,6 +78,12 @@ class NullRecorder:
 
     enabled = False
 
+    def __reduce__(self):
+        # Pickling (e.g. a config or channel shipped to a campaign worker
+        # process) resolves back to the shared singleton, preserving the
+        # "one inert instance" identity checks rely on.
+        return (_restore_null_recorder, ())
+
     def counter(self, name: str, /, **labels: str) -> _NullCounter:
         return _NULL_COUNTER
 
@@ -119,6 +125,11 @@ class ObsRecorder:
 
     def span(self, name: str, /, **meta: str):
         return self.tracer.span(name, **meta)
+
+
+def _restore_null_recorder() -> "NullRecorder":
+    """Unpickle hook: every pickled NullRecorder is the singleton."""
+    return NULL_RECORDER
 
 
 #: Shared default: instrumentation resolves to this unless told otherwise.

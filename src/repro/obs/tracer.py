@@ -97,6 +97,26 @@ class SpanTracer:
         """A context manager timing ``name``; nests under any open span."""
         return _ActiveSpan(self, name, {k: str(v) for k, v in meta.items()})
 
+    def record(self, name: str, /, duration_s: float, **meta: str) -> Span:
+        """Append an already-measured span (no timing of our own).
+
+        The parallel campaign uses this to graft worker-measured drive
+        durations into the parent tracer: the span nests under whatever
+        span is currently open (``campaign.run`` during a merge), with
+        its start back-dated so ``start + duration`` is now.
+        """
+        now = time.perf_counter() - self._epoch
+        span = Span(
+            name=name,
+            start_s=max(0.0, now - duration_s),
+            duration_s=float(duration_s),
+            depth=len(self._stack),
+            parent=self._stack[-1] if self._stack else None,
+            meta={k: str(v) for k, v in meta.items()},
+        )
+        self.spans.append(span)
+        return span
+
     def timings(self) -> dict[str, dict[str, float]]:
         """Aggregate spans by name: count / total / min / max / mean."""
         agg: dict[str, dict[str, float]] = {}

@@ -1,14 +1,29 @@
 """Property-based tests on core invariants (hypothesis)."""
 
+import json
+import math
+import random
+
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.conditions import LinkConditions
 from repro.core.coverage import classify_level, coverage_shares
+from repro.core.dataset import (
+    NETWORKS,
+    SecondSample,
+    TestRecord,
+    record_from_dict,
+    record_to_dict,
+)
 from repro.core.fluid import FluidTcp, fluid_udp_series
 from repro.emu.traces import throughput_to_opportunities_ms
+from repro.faults import FaultSchedule
+from repro.faults.events import FaultEffect
+from repro.geo.classify import AreaType
 from repro.net import FixedConditions, Path, Simulator
 from repro.net.link import bdp_bytes
+from repro.obs import MetricsRegistry, merge_snapshots
 from repro.transport import open_tcp_connection
 
 conditions_st = st.builds(
@@ -72,6 +87,124 @@ def test_coverage_shares_partition(values):
     # Each classified level contributes to exactly one bucket.
     for v in values:
         classify_level(v)
+
+
+# -- fault composition ---------------------------------------------------
+
+effect_st = st.builds(
+    FaultEffect,
+    blackout=st.booleans(),
+    capacity_factor=st.floats(min_value=0.0, max_value=1.0),
+    extra_loss=st.floats(min_value=0.0, max_value=1.0),
+    extra_rtt_ms=st.floats(min_value=0.0, max_value=500.0),
+)
+
+
+@given(st.lists(effect_st, min_size=1, max_size=6), st.integers(0, 10_000))
+def test_fault_compose_order_independent_and_blackout_dominant(effects, seed):
+    """Concurrent fault effects compose the same in any order, and one
+    blackout forces a blackout no matter what it composes with."""
+    composed = FaultSchedule.compose(effects)
+    assert composed.blackout == any(e.blackout for e in effects)
+    assert 0.0 <= composed.extra_loss <= 1.0
+    shuffled = list(effects)
+    random.Random(seed).shuffle(shuffled)
+    permuted = FaultSchedule.compose(shuffled)
+    assert permuted.blackout == composed.blackout
+    # Float products/sums over a permutation agree up to rounding.
+    assert math.isclose(
+        permuted.capacity_factor,
+        composed.capacity_factor,
+        rel_tol=1e-9,
+        abs_tol=1e-12,
+    )
+    assert math.isclose(
+        permuted.extra_loss, composed.extra_loss, rel_tol=1e-9, abs_tol=1e-12
+    )
+    assert math.isclose(
+        permuted.extra_rtt_ms,
+        composed.extra_rtt_ms,
+        rel_tol=1e-9,
+        abs_tol=1e-12,
+    )
+
+
+# -- record serialization ------------------------------------------------
+
+_finite = dict(allow_nan=False, allow_infinity=False)
+
+sample_st = st.builds(
+    SecondSample,
+    time_s=st.floats(min_value=0.0, max_value=1e6, **_finite),
+    throughput_mbps=st.floats(min_value=0.0, max_value=1e4, **_finite),
+    rtt_ms=st.floats(min_value=0.0, max_value=1e5, **_finite),
+    loss_rate=st.floats(min_value=0.0, max_value=1.0, **_finite),
+    speed_kmh=st.floats(min_value=0.0, max_value=300.0, **_finite),
+    area=st.sampled_from(list(AreaType)),
+    lat_deg=st.floats(min_value=-90.0, max_value=90.0, **_finite),
+    lon_deg=st.floats(min_value=-180.0, max_value=180.0, **_finite),
+)
+
+record_st = st.builds(
+    TestRecord,
+    test_id=st.integers(0, 10**9),
+    drive_id=st.integers(0, 10**4),
+    network=st.sampled_from(NETWORKS),
+    protocol=st.sampled_from(("tcp", "udp", "ping")),
+    direction=st.sampled_from(("dl", "ul")),
+    parallel=st.integers(1, 16),
+    samples=st.lists(sample_st, max_size=5),
+    retransmission_rate=st.floats(min_value=0.0, max_value=1.0, **_finite),
+)
+
+
+@given(record_st)
+@settings(max_examples=50, deadline=None)
+def test_record_round_trips_through_dict_and_json(rec):
+    """record_to_dict/record_from_dict is lossless — including through
+    actual JSON text, which is what checkpoints and datasets persist."""
+    assert record_from_dict(record_to_dict(rec)) == rec
+    assert record_from_dict(json.loads(json.dumps(record_to_dict(rec)))) == rec
+
+
+# -- obs metric merge ----------------------------------------------------
+
+_MERGE_BUCKETS = (1.0, 10.0)
+
+
+def _snapshot_from_ops(ops):
+    registry = MetricsRegistry()
+    for kind, name, value in ops:
+        if kind == "counter":
+            registry.counter(name).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name).set(value)
+        else:
+            registry.histogram(name, buckets=_MERGE_BUCKETS).observe(value)
+    return registry.snapshot()
+
+
+snapshot_st = st.lists(
+    st.tuples(
+        st.sampled_from(("counter", "gauge", "histogram")),
+        st.sampled_from(("a", "b", "c")),
+        st.integers(0, 100).map(float),
+    ),
+    max_size=8,
+).map(_snapshot_from_ops)
+
+
+@given(snapshot_st, snapshot_st, snapshot_st)
+@settings(max_examples=50, deadline=None)
+def test_obs_metric_merge_associative(a, b, c):
+    """merge(merge(a, b), c) == merge(a, merge(b, c)) — the property that
+    lets the parallel campaign fold worker snapshots incrementally.
+    Values are integer-valued floats, so sums are exact."""
+    assert merge_snapshots(merge_snapshots(a, b), c) == merge_snapshots(
+        a, merge_snapshots(b, c)
+    )
+    # And the empty snapshot is the identity.
+    assert merge_snapshots(a, []) == merge_snapshots([], a)
 
 
 @given(
