@@ -50,7 +50,22 @@ from repro.leo.constellation import Constellation
 from repro.leo.dish import dish_for_plan, DishPlan
 from repro.leo.gateway import GatewayNetwork
 from repro.obs.manifest import RunManifest
-from repro.obs.recorder import get_recorder
+from repro.obs.recorder import ObsRecorder, get_recorder
+from repro.resilience import (
+    ATTEMPT_BUCKETS,
+    CampaignAborted,
+    CheckpointCorruptError,
+    DIGEST_KEY,
+    FailureClass,
+    ResilienceConfig,
+    ResilienceReport,
+    classify_exception,
+    embed_digest,
+    graceful_shutdown,
+    quarantine,
+    salvage_drives,
+    verify_digest,
+)
 from repro.rng import RngStreams
 from repro.tools.tracker import Tracker
 
@@ -67,8 +82,10 @@ TEST_ID_STRIDE = 100_000
 #: ~20% above its running estimate of the link rate.
 UDP_OVERDRIVE = 1.2
 
-#: Checkpoint schema version.
-CHECKPOINT_VERSION = 1
+#: Checkpoint schema version.  v2 added content digests (whole-file and
+#: per-drive), which is what makes corruption detectable and salvage
+#: possible; v1 files fail the version check with a clear message.
+CHECKPOINT_VERSION = 2
 
 #: Bucket bounds for the per-drive wall-clock histogram.
 DRIVE_SECONDS_BUCKETS = (0.1, 0.5, 1, 5, 10, 60, 300, 1800)
@@ -132,6 +149,12 @@ class CampaignConfig:
     #: excluded from :meth:`fingerprint` because any worker count
     #: produces byte-identical output.
     workers: int = 1
+    #: Self-healing execution (per-drive retries; watchdog for parallel
+    #: runs — see :mod:`repro.resilience`).  ``None`` keeps the bare
+    #: fail-once behaviour.  Execution-only like ``workers``: excluded
+    #: from :meth:`fingerprint` because retried and watchdog-healed runs
+    #: are byte-identical to untouched ones.
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -169,6 +192,12 @@ class CampaignConfig:
             )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceConfig
+        ):
+            raise ValueError(
+                f"resilience must be a ResilienceConfig, got {type(self.resilience)}"
+            )
 
     @property
     def num_drives(self) -> int:
@@ -179,9 +208,10 @@ class CampaignConfig:
     def fingerprint(self) -> str:
         """Stable content hash: guards checkpoint/config mismatches.
 
-        Covers every knob that shapes the dataset; ``workers`` is
-        deliberately excluded, so a checkpoint written by a serial run
-        resumes under any worker count (and vice versa).
+        Covers every knob that shapes the dataset; ``workers`` and
+        ``resilience`` are deliberately excluded, so a checkpoint
+        written by a serial run resumes under any worker count or
+        retry/watchdog setting (and vice versa).
         """
         payload = {
             "seed": self.seed,
@@ -305,6 +335,10 @@ class CampaignReport:
     scheduled_faults: dict[str, int] = field(default_factory=dict)
     num_tests: int = 0
     checkpoint_path: str | None = None
+    #: :meth:`repro.resilience.ResilienceReport.to_dict`: retries,
+    #: watchdog kills, integrity failures, salvage.  All-zero on a run
+    #: that needed no healing.
+    resilience: dict = field(default_factory=dict)
 
     @property
     def drives_failed(self) -> int:
@@ -327,6 +361,7 @@ class CampaignReport:
             "scheduled_faults": dict(self.scheduled_faults),
             "num_tests": self.num_tests,
             "checkpoint_path": self.checkpoint_path,
+            "resilience": dict(self.resilience),
         }
 
     def save_json(self, path: str | os.PathLike) -> None:
@@ -360,6 +395,13 @@ class Campaign:
         self.manifest: RunManifest | None = None
         #: Per-drive wall-clock rows for the manifest.
         self._drive_rows: list[dict] = []
+        #: Which attempt of the current drive is running (0-based).
+        #: Maintained by the retry machinery; fault hooks and tests key
+        #: attempt-dependent behaviour off it.
+        self.current_attempt = 0
+        #: What the self-healing machinery did this run (see
+        #: :class:`repro.resilience.ResilienceReport`).
+        self._resilience = ResilienceReport()
 
     # -- public API -----------------------------------------------------
 
@@ -394,27 +436,56 @@ class Campaign:
         fingerprint = cfg.fingerprint()
         obs = self.obs
         self._drive_rows = []
+        self._resilience = ResilienceReport()
 
-        with obs.span("campaign.run", fingerprint=fingerprint):
+        with obs.span("campaign.run", fingerprint=fingerprint), graceful_shutdown() as shutdown:
             routes = self._routes()
 
             drive_payloads: dict[int, dict] = {}
             resumed = 0
             if checkpoint_path is not None and os.path.exists(checkpoint_path):
                 with obs.span("campaign.resume"):
-                    drive_payloads = _load_checkpoint(checkpoint_path, fingerprint)
+                    try:
+                        drive_payloads = _load_checkpoint(
+                            checkpoint_path, fingerprint
+                        )
+                    except CheckpointCorruptError as exc:
+                        drive_payloads = self._salvage_checkpoint(
+                            checkpoint_path, fingerprint, exc
+                        )
                 resumed = len(drive_payloads)
                 obs.counter("campaign.drives_resumed").inc(resumed)
+                for drive_id in sorted(drive_payloads):
+                    self._note_drive_resumed(
+                        drive_id, routes[drive_id].name, drive_payloads[drive_id]
+                    )
 
             if cfg.workers > 1:
-                from repro.core.parallel_campaign import run_drives_parallel
+                if cfg.resilience is not None:
+                    from repro.resilience.pool import run_drives_supervised
 
-                failures = run_drives_parallel(
-                    self, routes, drive_payloads, checkpoint_path, fingerprint
-                )
+                    failures = run_drives_supervised(
+                        self,
+                        routes,
+                        drive_payloads,
+                        checkpoint_path,
+                        fingerprint,
+                        shutdown=shutdown,
+                    )
+                else:
+                    from repro.core.parallel_campaign import run_drives_parallel
+
+                    failures = run_drives_parallel(
+                        self,
+                        routes,
+                        drive_payloads,
+                        checkpoint_path,
+                        fingerprint,
+                        shutdown=shutdown,
+                    )
             else:
                 failures = self._run_drives_serial(
-                    routes, drive_payloads, checkpoint_path, fingerprint
+                    routes, drive_payloads, checkpoint_path, fingerprint, shutdown
                 )
 
             dataset = self._assemble(
@@ -427,7 +498,7 @@ class Campaign:
             self.manifest = RunManifest.from_recorder(
                 obs,
                 fingerprint,
-                drives=self._drive_rows,
+                drives=sorted(self._drive_rows, key=lambda row: row["drive"]),
                 num_tests=dataset.num_tests,
                 distance_km=round(dataset.distance_km, 3),
                 trace_minutes=round(dataset.trace_minutes, 3),
@@ -441,12 +512,44 @@ class Campaign:
 
     # -- internals ---------------------------------------------------------
 
+    def _salvage_checkpoint(
+        self,
+        checkpoint_path: str | os.PathLike,
+        fingerprint: str,
+        exc: CheckpointCorruptError,
+    ) -> dict[int, dict]:
+        """Quarantine a corrupt checkpoint and resume from what survives.
+
+        The damaged file moves to ``<path>.corrupt`` (freeing the
+        original name for fresh checkpoints), every drive whose own
+        digest still verifies is restored, and the rest re-simulate —
+        a corrupted checkpoint costs the damaged drives, not the run.
+        """
+        obs = self.obs
+        corrupt_path = quarantine(checkpoint_path)
+        raw = salvage_drives(corrupt_path, fingerprint)
+        drive_payloads = {
+            drive_id: {
+                **drive,
+                "records": [record_from_dict(r) for r in drive["records"]],
+            }
+            for drive_id, drive in raw.items()
+        }
+        self._resilience.integrity_failures += 1
+        self._resilience.checkpoint_quarantined = corrupt_path
+        self._resilience.checkpoint_error = str(exc)[:500]
+        self._resilience.drives_salvaged = len(drive_payloads)
+        obs.counter("resilience.integrity_failures", artifact="checkpoint").inc()
+        obs.counter("resilience.drives_salvaged").inc(len(drive_payloads))
+        return drive_payloads
+
     def _run_drives_serial(
         self,
         routes: list[Route],
         drive_payloads: dict[int, dict],
         checkpoint_path: str | os.PathLike | None,
         fingerprint: str,
+        shutdown=None,
     ) -> list[DriveFailure]:
         """Run every not-yet-completed drive in this process, in order."""
         obs = self.obs
@@ -454,32 +557,124 @@ class Campaign:
         for drive_id, route in enumerate(routes):
             if drive_id in drive_payloads:
                 continue
-            started = time.perf_counter()
-            try:
-                with obs.span(
-                    "campaign.drive", drive=drive_id, route=route.name
-                ):
-                    drive_payloads[drive_id] = self._simulate_drive(
-                        drive_id, route
-                    )
-            except Exception as exc:  # noqa: BLE001 — isolation is the point
-                failures.append(
-                    DriveFailure.from_exception(drive_id, route.name, exc)
+            if self.config.resilience is not None:
+                payload, failure = self._attempt_drive_with_retry(
+                    drive_id, route
                 )
-                obs.counter("campaign.drives_failed").inc()
+                if payload is not None:
+                    drive_payloads[drive_id] = payload
+                else:
+                    failures.append(failure)
+                    obs.counter("campaign.drives_failed").inc()
             else:
-                self._note_drive_done(
-                    drive_id,
-                    route.name,
-                    time.perf_counter() - started,
-                    len(drive_payloads[drive_id]["records"]),
-                )
+                started = time.perf_counter()
+                scratch = ObsRecorder() if obs.enabled else obs
+                try:
+                    with obs.span(
+                        "campaign.drive", drive=drive_id, route=route.name
+                    ):
+                        previous_obs, self.obs = self.obs, scratch
+                        try:
+                            payload = self._simulate_drive(drive_id, route)
+                        finally:
+                            self.obs = previous_obs
+                except Exception as exc:  # noqa: BLE001 — isolation is the point
+                    failures.append(
+                        DriveFailure.from_exception(drive_id, route.name, exc)
+                    )
+                    obs.counter("campaign.drives_failed").inc()
+                else:
+                    if obs.enabled:
+                        # The per-drive metric delta rides in the payload
+                        # (and hence the checkpoint), so a resumed drive
+                        # can restore the metrics it would have produced.
+                        payload["metrics"] = scratch.registry.snapshot()
+                        obs.registry.merge(payload["metrics"])
+                    drive_payloads[drive_id] = payload
+                    self._note_drive_done(
+                        drive_id,
+                        route.name,
+                        time.perf_counter() - started,
+                        len(payload["records"]),
+                    )
             if checkpoint_path is not None:
                 with obs.span("campaign.checkpoint"):
                     _write_checkpoint(
                         checkpoint_path, fingerprint, drive_payloads
                     )
+            if shutdown is not None and shutdown.requested:
+                raise CampaignAborted(
+                    f"shutdown requested (signal {shutdown.signum}); "
+                    f"{len(drive_payloads)} drives checkpointed"
+                )
         return failures
+
+    def _attempt_drive_with_retry(
+        self, drive_id: int, route: Route
+    ) -> tuple[dict | None, DriveFailure | None]:
+        """One drive under the retry policy: ``(payload, None)`` on
+        success, ``(None, failure)`` once the budget is spent.
+
+        Each attempt runs under a scratch recorder; only the successful
+        attempt's metrics merge into the campaign registry (in drive
+        order, exactly like the parallel pool), so abandoned attempts
+        leave no trace in deterministic artifacts.  The drive itself is
+        a pure function of ``(config, drive_id)``, so a retried drive's
+        payload is byte-identical to an untouched run's.
+        """
+        policy = self.config.resilience.retry
+        obs = self.obs
+        jitter_rng = (
+            self.rng.get(f"resilience.retry.{drive_id}") if policy.jitter else None
+        )
+        attempt = 0
+        while True:
+            scratch = ObsRecorder() if obs.enabled else self.obs
+            previous_obs, self.obs = self.obs, scratch
+            self.current_attempt = attempt
+            started = time.perf_counter()
+            try:
+                payload = self._simulate_drive(drive_id, route)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                self.obs = previous_obs
+                if (
+                    classify_exception(exc) is FailureClass.TRANSIENT
+                    and attempt + 1 < policy.max_attempts
+                ):
+                    attempt += 1
+                    self._resilience.retries += 1
+                    obs.counter(
+                        "resilience.retries", kind=type(exc).__name__
+                    ).inc()
+                    delay = policy.delay_s(attempt, jitter_rng)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                obs.histogram(
+                    "resilience.drive_attempts", buckets=ATTEMPT_BUCKETS
+                ).observe(attempt + 1)
+                return None, DriveFailure.from_exception(
+                    drive_id, route.name, exc
+                )
+            else:
+                self.obs = previous_obs
+                elapsed = time.perf_counter() - started
+                if obs.enabled:
+                    payload["metrics"] = scratch.registry.snapshot()
+                    obs.registry.merge(payload["metrics"])
+                    obs.tracer.record(
+                        "campaign.drive",
+                        elapsed,
+                        drive=drive_id,
+                        route=route.name,
+                    )
+                obs.histogram(
+                    "resilience.drive_attempts", buckets=ATTEMPT_BUCKETS
+                ).observe(attempt + 1)
+                self._note_drive_done(
+                    drive_id, route.name, elapsed, len(payload["records"])
+                )
+                return payload, None
 
     def _note_drive_done(
         self, drive_id: int, route_name: str, elapsed: float, tests: int
@@ -502,6 +697,33 @@ class Campaign:
                     "drive": drive_id,
                     "route": route_name,
                     "duration_s": elapsed,
+                    "tests": tests,
+                }
+            )
+
+    def _note_drive_resumed(
+        self, drive_id: int, route_name: str, payload: dict
+    ) -> None:
+        """Completion bookkeeping for a drive restored from checkpoint.
+
+        The dataset-facing counters, the drive's own metric snapshot
+        (carried in its checkpoint entry), and the manifest row are
+        identical to a fresh execution — a resumed or salvaged run must
+        agree with a clean one on the deterministic manifest view — but
+        no wall-clock series are touched: the drive did not run here.
+        """
+        obs = self.obs
+        tests = len(payload["records"])
+        if obs.enabled and payload.get("metrics"):
+            obs.registry.merge(payload["metrics"])
+        obs.counter("campaign.drives_completed").inc()
+        obs.counter("campaign.tests").inc(tests)
+        if obs.enabled:
+            self._drive_rows.append(
+                {
+                    "drive": drive_id,
+                    "route": route_name,
+                    "duration_s": 0.0,
                     "tests": tests,
                 }
             )
@@ -549,6 +771,7 @@ class Campaign:
             checkpoint_path=(
                 os.fspath(checkpoint_path) if checkpoint_path is not None else None
             ),
+            resilience=self._resilience.to_dict(),
         )
 
         total = sum(area_counts.values()) or 1
@@ -774,27 +997,59 @@ class Campaign:
 def _load_checkpoint(path: str | os.PathLike, fingerprint: str) -> dict[int, dict]:
     """Completed drives from a checkpoint, keyed by drive id.
 
-    Raises ``ValueError`` when the checkpoint belongs to a different
-    config (fingerprint mismatch) — silently merging would corrupt the
-    dataset.
+    Validates in order of increasing trust: JSON well-formedness, schema
+    (``version``/``drives`` keys present), version compatibility,
+    whole-file digest, config fingerprint, then per-drive digests.
+    Corruption (truncation, tampering, bit rot) raises
+    :class:`~repro.resilience.CheckpointCorruptError` — the campaign
+    responds by quarantining the file and salvaging intact drives.  A
+    structurally sound checkpoint from the wrong version or config
+    raises plain ``ValueError``: that is operator error, not damage,
+    and salvage must not paper over it.
     """
+    name = os.fspath(path)
     with open(path) as handle:
-        payload = json.load(handle)
-    if payload.get("version") != CHECKPOINT_VERSION:
+        text = handle.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {name!r} is not valid JSON ({exc}); likely a "
+            "truncated or interrupted write — it will be quarantined to "
+            f"'{name}.corrupt' and intact drives salvaged"
+        ) from exc
+    if not isinstance(payload, dict) or not (
+        "version" in payload and "drives" in payload
+    ):
+        raise CheckpointCorruptError(
+            f"checkpoint {name!r} is missing required keys "
+            "('version', 'drives'); the file is damaged or is not a "
+            "campaign checkpoint"
+        )
+    if payload["version"] != CHECKPOINT_VERSION:
         raise ValueError(
-            f"checkpoint {os.fspath(path)!r} has version "
+            f"checkpoint {name!r} has version "
             f"{payload.get('version')!r}, expected {CHECKPOINT_VERSION}"
+        )
+    if not verify_digest(payload):
+        raise CheckpointCorruptError(
+            f"checkpoint {name!r} fails its content digest; the file was "
+            "modified or damaged after it was written"
         )
     if payload.get("fingerprint") != fingerprint:
         raise ValueError(
-            f"checkpoint {os.fspath(path)!r} was written by a different "
+            f"checkpoint {name!r} was written by a different "
             f"campaign config (fingerprint {payload.get('fingerprint')!r} "
             f"!= {fingerprint!r}); delete it or fix the config"
         )
     drives: dict[int, dict] = {}
     for key, raw in payload["drives"].items():
+        if not isinstance(raw, dict) or not verify_digest(raw):
+            raise CheckpointCorruptError(
+                f"checkpoint {name!r}: drive {key} fails its digest"
+            )
         drives[int(key)] = {
-            **raw,
+            **{k: v for k, v in raw.items() if k != DIGEST_KEY},
             "records": [record_from_dict(r) for r in raw["records"]],
         }
     return drives
@@ -805,30 +1060,47 @@ def _write_checkpoint(
     fingerprint: str,
     drive_payloads: dict[int, dict],
 ) -> None:
-    """Atomically persist completed drives (tmp file + rename).
+    """Durably and atomically persist completed drives.
 
-    Drives are emitted in drive-id order regardless of completion order,
-    so a checkpoint from a parallel run is byte-identical to a serial
-    one (serial insertion order is already sorted).
+    Atomic: written to ``<path>.tmp``, flushed, fsynced, then renamed
+    over ``path`` — a crash mid-write leaves the previous checkpoint
+    untouched and no partial file under the real name; the tmp file is
+    removed on any failure.  Drives are emitted in drive-id order
+    regardless of completion order, so a checkpoint from a parallel run
+    is byte-identical to a serial one.  Each drive entry and the whole
+    payload embed content digests (see :mod:`repro.resilience.integrity`)
+    for load-time corruption detection and per-drive salvage.
     """
     payload = {
         "version": CHECKPOINT_VERSION,
         "fingerprint": fingerprint,
         "drives": {
-            str(drive_id): {
-                **drive_payloads[drive_id],
-                "records": [
-                    record_to_dict(r)
-                    for r in drive_payloads[drive_id]["records"]
-                ],
-            }
+            str(drive_id): embed_digest(
+                {
+                    **drive_payloads[drive_id],
+                    "records": [
+                        record_to_dict(r)
+                        for r in drive_payloads[drive_id]["records"]
+                    ],
+                }
+            )
             for drive_id in sorted(drive_payloads)
         },
     }
+    embed_digest(payload)
     tmp_path = f"{os.fspath(path)}.tmp"
-    with open(tmp_path, "w") as handle:
-        json.dump(payload, handle)
-    os.replace(tmp_path, path)
+    try:
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def run_campaign(

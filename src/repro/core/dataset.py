@@ -187,15 +187,27 @@ class DriveDataset:
     # -- persistence ---------------------------------------------------------
 
     def save_json(self, path: str | os.PathLike) -> None:
-        """Serialize the dataset (samples included) to JSON."""
-        payload = {
-            "trace_minutes": self.trace_minutes,
-            "distance_km": self.distance_km,
-            "area_proportions": {
-                area.value: share for area, share in self.area_proportions.items()
-            },
-            "records": [record_to_dict(rec) for rec in self.records],
-        }
+        """Serialize the dataset (samples included) to JSON.
+
+        The payload embeds a content digest (see
+        :mod:`repro.resilience.integrity`); :meth:`load_json` verifies
+        it, so silent corruption surfaces at load time.  The digest is a
+        pure function of content — byte-identical datasets stay
+        byte-identical.
+        """
+        from repro.resilience.integrity import embed_digest
+
+        payload = embed_digest(
+            {
+                "trace_minutes": self.trace_minutes,
+                "distance_km": self.distance_km,
+                "area_proportions": {
+                    area.value: share
+                    for area, share in self.area_proportions.items()
+                },
+                "records": [record_to_dict(rec) for rec in self.records],
+            }
+        )
         with open(path, "w") as handle:
             json.dump(payload, handle)
 
@@ -234,9 +246,23 @@ class DriveDataset:
 
     @classmethod
     def load_json(cls, path: str | os.PathLike) -> "DriveDataset":
-        """Load a dataset written by :meth:`save_json`."""
+        """Load a dataset written by :meth:`save_json`.
+
+        Raises :class:`~repro.resilience.ArtifactCorruptError` when the
+        embedded content digest no longer matches the body (truncated
+        write, bit rot, hand-edit).  Digest-less files — written before
+        digests existed — load without the check.
+        """
+        from repro.resilience.integrity import verify_digest
+        from repro.resilience.taxonomy import ArtifactCorruptError
+
         with open(path) as handle:
             payload = json.load(handle)
+        if not verify_digest(payload):
+            raise ArtifactCorruptError(
+                f"dataset {os.fspath(path)!r} fails its content digest; "
+                "the file was modified or damaged after it was written"
+            )
         records = [record_from_dict(raw) for raw in payload["records"]]
         return cls(
             records,

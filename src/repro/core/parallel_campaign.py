@@ -125,6 +125,7 @@ def run_drives_parallel(
     drive_payloads: dict[int, dict],
     checkpoint_path: str | os.PathLike | None,
     fingerprint: str,
+    shutdown=None,
 ) -> list:
     """Run every not-yet-completed drive across a process pool.
 
@@ -132,8 +133,14 @@ def run_drives_parallel(
     restored from a checkpoint — are never re-executed) and returns the
     list of :class:`~repro.core.campaign.DriveFailure`, sorted by drive
     id like a serial run's append order.
+
+    ``shutdown`` is a :class:`~repro.resilience.signals.ShutdownFlag`
+    (or ``None``); when it trips, the pool stops dispatching and raises
+    :class:`~repro.resilience.CampaignAborted` after the last finished
+    drive has been checkpointed, so a later run resumes cleanly.
     """
-    from repro.core.campaign import DriveFailure, _write_checkpoint
+    from repro.core.campaign import _write_checkpoint
+    from repro.resilience import CampaignAborted
 
     cfg = campaign.config
     obs = campaign.obs
@@ -159,12 +166,21 @@ def run_drives_parallel(
                     result = future.result()
                     results[result["drive_id"]] = result
                     if result["ok"]:
+                        if result["metrics"]:
+                            # Ride the per-drive metric delta in the
+                            # checkpoint so resume can restore it.
+                            result["payload"]["metrics"] = result["metrics"]
                         drive_payloads[result["drive_id"]] = result["payload"]
                     if checkpoint_path is not None:
                         with obs.span("campaign.checkpoint"):
                             _write_checkpoint(
                                 checkpoint_path, fingerprint, drive_payloads
                             )
+                    if shutdown is not None and shutdown.requested:
+                        raise CampaignAborted(
+                            f"shutdown requested (signal {shutdown.signum}); "
+                            f"{len(drive_payloads)} drives checkpointed"
+                        )
             except BaseException:
                 # Abort (KeyboardInterrupt & co.): drop what hasn't
                 # started; whatever completed is already checkpointed,
@@ -173,11 +189,33 @@ def run_drives_parallel(
                     future.cancel()
                 raise
 
+    return merge_drive_results(campaign, routes, results)
+
+
+def merge_drive_results(campaign, routes, results: dict[int, dict]) -> list:
+    """Fold per-drive worker results into the parent, in drive order.
+
+    Shared by the plain executor pool and the supervised
+    (:mod:`repro.resilience.pool`) one, so both produce identical
+    counters, histograms, gauges, tracer rows, and failure lists.  A
+    result may carry an ``"attempts"`` count (supervised pool / retry
+    path), which feeds the ``resilience.drive_attempts`` histogram —
+    that series is excluded from the deterministic manifest view, so
+    healed and untouched runs still match byte-for-byte.
+    """
+    from repro.core.campaign import DriveFailure
+    from repro.resilience import ATTEMPT_BUCKETS
+
+    obs = campaign.obs
     failures: list = []
     for drive_id in sorted(results):
         result = results[drive_id]
         if obs.enabled and result["metrics"]:
             obs.registry.merge(result["metrics"])
+        if "attempts" in result:
+            obs.histogram(
+                "resilience.drive_attempts", buckets=ATTEMPT_BUCKETS
+            ).observe(result["attempts"])
         if result["ok"]:
             if obs.enabled:
                 obs.tracer.record(

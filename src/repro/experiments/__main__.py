@@ -43,6 +43,23 @@ def main(argv: list[str] | None = None) -> int:
         "any count; see docs/API.md)",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry each failed drive up to N times when the failure is "
+        "transient (same output with or without retries; see "
+        "docs/FAULTS.md)",
+    )
+    parser.add_argument(
+        "--drive-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog deadline per drive; with --workers > 1 a drive "
+        "exceeding it is killed and requeued on another worker",
+    )
+    parser.add_argument(
         "--duration", type=int, default=None, help="test duration (seconds)"
     )
     parser.add_argument(
@@ -65,6 +82,19 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.common import set_default_workers
 
         set_default_workers(args.workers)
+
+    if args.retries is not None or args.drive_timeout is not None:
+        from repro.experiments.common import set_default_resilience
+        from repro.resilience import ResilienceConfig, RetryPolicy
+
+        if args.retries is not None and args.retries < 0:
+            parser.error(f"--retries must be >= 0, got {args.retries}")
+        retry = RetryPolicy(
+            max_attempts=(args.retries + 1) if args.retries is not None else 1
+        )
+        set_default_resilience(
+            ResilienceConfig(retry=retry, drive_timeout_s=args.drive_timeout)
+        )
 
     module, description = REGISTRY[args.experiment]
     accepted = inspect.signature(module.run).parameters

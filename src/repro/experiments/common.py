@@ -33,6 +33,13 @@ SCALES = ("small", "medium", "paper")
 #: parameter through each figure's ``run()`` signature.
 _default_workers = 1
 
+#: Resilience settings campaign datasets are generated with (see
+#: :mod:`repro.resilience`); ``None`` keeps the bare fail-once
+#: behaviour.  Module-level for the same reason as ``_default_workers``:
+#: the CLI's ``--retries``/``--drive-timeout`` reach every experiment
+#: without touching figure signatures.
+_default_resilience = None
+
 
 def set_default_workers(workers: int) -> None:
     """Set the worker count campaign datasets are generated with.
@@ -50,6 +57,29 @@ def set_default_workers(workers: int) -> None:
 def default_workers() -> int:
     """The worker count :func:`campaign_dataset` currently uses."""
     return _default_workers
+
+
+def set_default_resilience(resilience) -> None:
+    """Set the self-healing settings campaigns are generated with.
+
+    Takes a :class:`repro.resilience.ResilienceConfig` or ``None``.
+    Execution-only like :func:`set_default_workers`: retried and
+    watchdog-healed runs are byte-identical to untouched ones, so the
+    memoization key ignores it too.
+    """
+    from repro.resilience import ResilienceConfig
+
+    if resilience is not None and not isinstance(resilience, ResilienceConfig):
+        raise ValueError(
+            f"resilience must be a ResilienceConfig or None, got {type(resilience)}"
+        )
+    global _default_resilience
+    _default_resilience = resilience
+
+
+def default_resilience():
+    """The resilience settings :func:`campaign_dataset` currently uses."""
+    return _default_resilience
 
 
 def config_for_scale(scale: str, seed: int = 0) -> CampaignConfig:
@@ -82,6 +112,7 @@ def campaign_dataset(scale: str = "medium", seed: int = 0) -> DriveDataset:
     """
     config = config_for_scale(scale, seed)
     config.workers = _default_workers
+    config.resilience = _default_resilience
     return Campaign(config).run()
 
 

@@ -25,6 +25,17 @@ WALL_CLOCK_METRICS = frozenset(
     {"campaign.drive_seconds", "campaign.tests_per_s"}
 )
 
+#: Metric series describing *how* a run executed rather than *what* it
+#: produced: self-healing events (``resilience.*``) and checkpoint
+#: resume counts vary with crashes, retries, and watchdog kills while
+#: the dataset stays byte-identical, so the deterministic view drops
+#: them the same way it drops wall-clock series.
+EXECUTION_METRICS = frozenset({"campaign.drives_resumed"})
+EXECUTION_METRIC_PREFIXES = ("resilience.",)
+
+#: ``extra`` keys that are execution facts, not dataset facts.
+EXECUTION_EXTRA_KEYS = frozenset({"drives_resumed"})
+
 
 @dataclass
 class RunManifest:
@@ -100,14 +111,23 @@ class RunManifest:
         )
 
     def deterministic_dict(self) -> dict:
-        """The manifest minus everything wall-clock.
+        """The manifest minus everything wall-clock or execution-shaped.
 
         Drops ``created_at``, span ``timings``, per-drive ``duration_s``,
-        and the :data:`WALL_CLOCK_METRICS` series; what remains is a pure
-        function of the campaign config, so two runs of the same config —
-        serial or parallel, any worker count — agree byte for byte on
+        the :data:`WALL_CLOCK_METRICS` series, and the execution-path
+        series/keys (:data:`EXECUTION_METRICS`,
+        ``resilience.*``-prefixed metrics, :data:`EXECUTION_EXTRA_KEYS`);
+        what remains is a pure function of the campaign config, so two
+        runs of the same config — serial or parallel, resumed or not,
+        healed by retries/watchdog or untouched — agree byte for byte on
         :meth:`deterministic_blob`.
         """
+
+        def is_execution(name: str) -> bool:
+            return name in WALL_CLOCK_METRICS or name in EXECUTION_METRICS or any(
+                name.startswith(prefix) for prefix in EXECUTION_METRIC_PREFIXES
+            )
+
         return {
             "version": MANIFEST_VERSION,
             "fingerprint": self.fingerprint,
@@ -115,13 +135,17 @@ class RunManifest:
             "metrics": [
                 entry
                 for entry in self.metrics
-                if entry["name"] not in WALL_CLOCK_METRICS
+                if not is_execution(entry["name"])
             ],
             "drives": [
                 {k: v for k, v in row.items() if k != "duration_s"}
                 for row in self.drives
             ],
-            "extra": dict(self.extra),
+            "extra": {
+                k: v
+                for k, v in self.extra.items()
+                if k not in EXECUTION_EXTRA_KEYS
+            },
         }
 
     def deterministic_blob(self) -> bytes:
@@ -129,15 +153,47 @@ class RunManifest:
         return json.dumps(self.deterministic_dict(), sort_keys=True).encode()
 
     def save_json(self, path: str | os.PathLike) -> None:
+        """Atomically persist the manifest with an embedded content
+        digest (verified by :meth:`load_json`)."""
+        from repro.resilience.integrity import embed_digest
+
         tmp_path = f"{os.fspath(path)}.tmp"
-        with open(tmp_path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-        os.replace(tmp_path, path)
+        try:
+            with open(tmp_path, "w") as handle:
+                json.dump(
+                    embed_digest(self.to_dict()),
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load_json(cls, path: str | os.PathLike) -> "RunManifest":
+        """Load a manifest, verifying its content digest when present.
+
+        Raises :class:`~repro.resilience.ArtifactCorruptError` on a
+        digest mismatch; digest-less (pre-integrity) files still load.
+        """
+        from repro.resilience.integrity import verify_digest
+        from repro.resilience.taxonomy import ArtifactCorruptError
+
         with open(path) as handle:
-            return cls.from_dict(json.load(handle))
+            payload = json.load(handle)
+        if isinstance(payload, dict) and not verify_digest(payload):
+            raise ArtifactCorruptError(
+                f"manifest {os.fspath(path)!r} fails its content digest; "
+                "the file was modified or damaged after it was written"
+            )
+        return cls.from_dict(payload)
 
     # -- convenience lookups (CLI + tests) -------------------------------
 

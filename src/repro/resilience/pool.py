@@ -1,0 +1,510 @@
+"""Supervised parallel drive execution: watchdog, retry, kill-and-requeue.
+
+:mod:`repro.core.parallel_campaign` shards drives across a stock
+``ProcessPoolExecutor`` — fast, but defenseless: one hung worker stalls
+the pool forever and one transient exception permanently costs a drive.
+This module is the armored variant the campaign routes through when
+:attr:`~repro.core.campaign.CampaignConfig.resilience` is set.  It owns
+its worker processes directly so it can do what an executor cannot:
+
+* **per-drive deadlines** — a drive attempt that outlives
+  ``drive_timeout_s`` gets its worker killed (SIGKILL; a hung process
+  does not honour polite signals) and the drive requeued;
+* **heartbeat liveness** — each worker bumps a shared timestamp from a
+  daemon thread; a worker that stops beating while a drive is in flight
+  is wedged and treated like a hang, and a worker that *dies* (crash,
+  OOM kill) mid-drive is detected and its drive requeued;
+* **excluded-worker accounting** — a drive is never requeued onto a
+  worker that already hung or died running it; replacements are spawned
+  when the survivors cannot cover the remaining work;
+* **bounded retries** — failures classified transient
+  (:func:`~repro.resilience.taxonomy.classify_failure`) are requeued
+  under the :class:`~repro.resilience.policy.RetryPolicy`'s budget with
+  deterministic seeded backoff; permanent failures are recorded once.
+
+Determinism is preserved by construction: a drive is a pure function of
+``(config, drive_id)``, so a retried or re-homed drive produces the
+payload byte-for-byte an untouched run would have, and results are
+merged in drive order through the same
+:func:`~repro.core.parallel_campaign.merge_drive_results` path as the
+plain pool.  Only the *success* attempt's metric snapshot is merged —
+abandoned attempts leave no trace in deterministic artifacts, and the
+healing itself is reported through ``resilience.*`` metrics (excluded
+from the deterministic manifest view) and the campaign report.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import os
+import queue as queue_module
+import signal as signal_module
+import threading
+import time
+
+from repro.obs.recorder import NULL_RECORDER, ObsRecorder
+from repro.resilience.policy import ResilienceConfig
+from repro.resilience.taxonomy import (
+    CampaignAborted,
+    FailureClass,
+    classify_failure,
+)
+
+#: A drive waiting to run: which attempt this is, and the earliest
+#: monotonic time it may be dispatched (retry backoff).
+_Task = collections.namedtuple("_Task", ["drive_id", "attempt", "eligible_at"])
+
+
+class _Worker:
+    """Parent-side handle for one worker process."""
+
+    __slots__ = ("worker_id", "process", "task_q", "heartbeat", "current", "deadline")
+
+    def __init__(self, worker_id, process, task_q, heartbeat):
+        self.worker_id = worker_id
+        self.process = process
+        self.task_q = task_q
+        self.heartbeat = heartbeat
+        #: ``(drive_id, attempt)`` in flight, or None when idle.
+        self.current: tuple[int, int] | None = None
+        #: Monotonic watchdog deadline for the in-flight attempt.
+        self.deadline: float | None = None
+
+
+def _mp_context():
+    """Prefer fork where available; otherwise the platform default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+# -- worker side ---------------------------------------------------------
+
+
+def _worker_main(
+    worker_id: int,
+    config,
+    task_q,
+    result_q,
+    observe: bool,
+    heartbeat,
+    heartbeat_interval_s: float,
+) -> None:
+    """Worker loop: rebuild the world, then run drives until sentinel.
+
+    SIGINT is ignored — a Ctrl+C lands on the whole process group, and
+    shutdown belongs to the parent (which checkpoints first); a worker
+    dying to the signal would masquerade as a crash and trigger a
+    spurious requeue.  SIGTERM keeps its default so the parent's
+    graceful teardown still works.
+    """
+    try:
+        signal_module.signal(signal_module.SIGINT, signal_module.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    from repro.core.campaign import Campaign, DriveFailure
+
+    campaign = Campaign(config, recorder=NULL_RECORDER)
+    routes = campaign._routes()
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.is_set():
+            heartbeat.value = time.monotonic()
+            stop.wait(heartbeat_interval_s)
+
+    beater = threading.Thread(target=beat, daemon=True)
+    beater.start()
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                return
+            drive_id, attempt = task
+            route = routes[drive_id]
+            result_q.put(
+                {
+                    "kind": "start",
+                    "worker": worker_id,
+                    "drive": drive_id,
+                    "attempt": attempt,
+                }
+            )
+            recorder = ObsRecorder() if observe else NULL_RECORDER
+            campaign.obs = recorder
+            campaign.current_attempt = attempt
+            started = time.perf_counter()
+            try:
+                payload = campaign._simulate_drive(drive_id, route)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                result_q.put(
+                    {
+                        "kind": "done",
+                        "worker": worker_id,
+                        "drive": drive_id,
+                        "attempt": attempt,
+                        "ok": False,
+                        "failure": DriveFailure.from_exception(
+                            drive_id, route.name, exc
+                        ).to_dict(),
+                        "elapsed_s": time.perf_counter() - started,
+                        # Abandoned attempts must leave no metric trace.
+                        "metrics": [],
+                    }
+                )
+            else:
+                result_q.put(
+                    {
+                        "kind": "done",
+                        "worker": worker_id,
+                        "drive": drive_id,
+                        "attempt": attempt,
+                        "ok": True,
+                        "payload": payload,
+                        "elapsed_s": time.perf_counter() - started,
+                        "metrics": recorder.registry.snapshot() if observe else [],
+                    }
+                )
+    finally:
+        stop.set()
+
+
+# -- parent side ---------------------------------------------------------
+
+
+def run_drives_supervised(
+    campaign,
+    routes,
+    drive_payloads: dict[int, dict],
+    checkpoint_path: str | os.PathLike | None,
+    fingerprint: str,
+    shutdown=None,
+) -> list:
+    """Run every not-yet-completed drive under watchdog supervision.
+
+    Same contract as
+    :func:`repro.core.parallel_campaign.run_drives_parallel` — fills
+    ``drive_payloads`` in place, checkpoints after every completed
+    drive, returns failures in drive order — plus the self-healing
+    behaviour documented in the module docstring.  ``shutdown`` is a
+    :class:`~repro.resilience.signals.ShutdownFlag`; when it trips the
+    pool raises :class:`CampaignAborted` after the last checkpoint.
+    """
+    from repro.core.campaign import _write_checkpoint
+    from repro.core.parallel_campaign import merge_drive_results
+
+    cfg = campaign.config
+    res: ResilienceConfig = cfg.resilience
+    policy = res.retry
+    obs = campaign.obs
+    events = campaign._resilience
+
+    pending = [d for d in range(len(routes)) if d not in drive_payloads]
+    if not pending:
+        return []
+
+    ctx = _mp_context()
+    result_q = ctx.Queue()
+    workers: dict[int, _Worker] = {}
+    next_worker_id = 0
+    initial_pool = min(cfg.workers, len(pending))
+
+    def spawn() -> _Worker:
+        nonlocal next_worker_id
+        worker_id = next_worker_id
+        next_worker_id += 1
+        task_q = ctx.Queue()
+        heartbeat = ctx.Value("d", time.monotonic(), lock=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                cfg,
+                task_q,
+                result_q,
+                obs.enabled,
+                heartbeat,
+                res.heartbeat_interval_s,
+            ),
+            daemon=True,
+        )
+        process.start()
+        worker = _Worker(worker_id, process, task_q, heartbeat)
+        workers[worker_id] = worker
+        if worker_id >= initial_pool:
+            events.workers_replaced += 1
+            obs.counter("resilience.workers_replaced").inc()
+        return worker
+
+    tasks: collections.deque[_Task] = collections.deque(
+        _Task(d, 0, 0.0) for d in pending
+    )
+    #: drive_id -> worker ids that hung or died running it.
+    excluded: dict[int, set[int]] = {d: set() for d in pending}
+    results: dict[int, dict] = {}
+    outstanding = len(pending)
+    jitter_rngs: dict[int, object] = {}
+
+    def retry_delay(drive_id: int, retry_index: int) -> float:
+        rng = None
+        if policy.jitter:
+            rng = jitter_rngs.get(drive_id)
+            if rng is None:
+                rng = campaign.rng.get(f"resilience.retry.{drive_id}")
+                jitter_rngs[drive_id] = rng
+        return policy.delay_s(retry_index, rng)
+
+    def discard_queued(drive_id: int) -> None:
+        nonlocal tasks
+        tasks = collections.deque(t for t in tasks if t.drive_id != drive_id)
+
+    def finish(drive_id: int, result: dict) -> None:
+        nonlocal outstanding
+        if drive_id in results:
+            return  # late duplicate (e.g. a kill raced a completion)
+        results[drive_id] = result
+        outstanding -= 1
+        if result["ok"]:
+            if result["metrics"]:
+                # Ride the per-drive metric delta in the checkpoint so
+                # resume can restore it.
+                result["payload"]["metrics"] = result["metrics"]
+            drive_payloads[drive_id] = result["payload"]
+            if checkpoint_path is not None:
+                with obs.span("campaign.checkpoint"):
+                    _write_checkpoint(checkpoint_path, fingerprint, drive_payloads)
+
+    def requeue_or_fail(
+        drive_id: int, attempt: int, failure: dict, transient: bool
+    ) -> None:
+        """One attempt is gone; spend retry budget or record the loss."""
+        if transient and attempt + 1 < policy.max_attempts:
+            retry_index = attempt + 1
+            events.retries += 1
+            obs.counter("resilience.retries", kind=failure["error_type"]).inc()
+            tasks.append(
+                _Task(
+                    drive_id,
+                    attempt + 1,
+                    time.monotonic() + retry_delay(drive_id, retry_index),
+                )
+            )
+        else:
+            finish(
+                drive_id,
+                {
+                    "drive_id": drive_id,
+                    "ok": False,
+                    "failure": failure,
+                    "elapsed_s": 0.0,
+                    "metrics": [],
+                    "attempts": attempt + 1,
+                },
+            )
+
+    def handle_done(msg: dict) -> None:
+        drive_id, attempt = msg["drive"], msg["attempt"]
+        worker = workers.get(msg["worker"])
+        if worker is not None and worker.current == (drive_id, attempt):
+            worker.current = None
+            worker.deadline = None
+        if drive_id in results:
+            return
+        if msg["ok"]:
+            # A kill may have already requeued this drive; the completed
+            # payload wins (it is byte-identical to any retry's).
+            discard_queued(drive_id)
+            finish(
+                drive_id,
+                {
+                    "drive_id": drive_id,
+                    "ok": True,
+                    "payload": msg["payload"],
+                    "elapsed_s": msg["elapsed_s"],
+                    "metrics": msg["metrics"],
+                    "attempts": attempt + 1,
+                },
+            )
+        else:
+            failure = msg["failure"]
+            transient = (
+                classify_failure(failure["error_type"]) is FailureClass.TRANSIENT
+            )
+            requeue_or_fail(drive_id, attempt, failure, transient)
+
+    def kill_worker(worker: _Worker, reason: str) -> None:
+        """SIGKILL a hung/wedged worker and requeue its drive."""
+        drive_id, attempt = worker.current
+        events.watchdog_kills += 1
+        obs.counter("resilience.watchdog_kills", reason=reason).inc()
+        if worker.process.is_alive():
+            worker.process.kill()  # SIGKILL: a hung process ignores polite asks
+            worker.process.join(2.0)
+        del workers[worker.worker_id]
+        excluded[drive_id].add(worker.worker_id)
+        requeue_or_fail(
+            drive_id,
+            attempt,
+            {
+                "drive_id": drive_id,
+                "route_name": routes[drive_id].name,
+                "error_type": "DriveTimeout",
+                "message": (
+                    f"drive {drive_id} attempt {attempt + 1} {reason} on worker "
+                    f"{worker.worker_id} (deadline {res.drive_timeout_s}s); killed"
+                ),
+                "traceback": "",
+            },
+            transient=True,
+        )
+
+    def reap_worker(worker: _Worker) -> None:
+        """A worker died on its own; requeue whatever it was running."""
+        del workers[worker.worker_id]
+        if worker.current is None:
+            return
+        drive_id, attempt = worker.current
+        events.worker_deaths += 1
+        obs.counter("resilience.worker_deaths").inc()
+        excluded[drive_id].add(worker.worker_id)
+        requeue_or_fail(
+            drive_id,
+            attempt,
+            {
+                "drive_id": drive_id,
+                "route_name": routes[drive_id].name,
+                "error_type": "WorkerDied",
+                "message": (
+                    f"worker {worker.worker_id} died (exit code "
+                    f"{worker.process.exitcode}) while running drive {drive_id} "
+                    f"attempt {attempt + 1}"
+                ),
+                "traceback": "",
+            },
+            transient=True,
+        )
+
+    for _ in range(initial_pool):
+        spawn()
+
+    hard_stop = True
+    try:
+        while outstanding:
+            now = time.monotonic()
+
+            # Dispatch eligible tasks to idle workers they are not
+            # excluded from.
+            idle = [
+                w
+                for w in workers.values()
+                if w.current is None and w.process.is_alive()
+            ]
+            if tasks and idle:
+                held: collections.deque[_Task] = collections.deque()
+                while tasks:
+                    task = tasks.popleft()
+                    target = None
+                    if task.eligible_at <= now:
+                        target = next(
+                            (
+                                w
+                                for w in idle
+                                if w.worker_id not in excluded[task.drive_id]
+                            ),
+                            None,
+                        )
+                    if target is None:
+                        held.append(task)
+                        continue
+                    idle.remove(target)
+                    target.current = (task.drive_id, task.attempt)
+                    if res.drive_timeout_s is not None:
+                        target.deadline = now + res.drive_timeout_s
+                    target.task_q.put((task.drive_id, task.attempt))
+                tasks = held
+
+            # Starvation guard: an eligible task every live worker is
+            # excluded from (or an empty pool) needs a fresh worker.
+            live_ids = {
+                wid for wid, w in workers.items() if w.process.is_alive()
+            }
+            if len(workers) < cfg.workers + len(pending):  # hard spawn cap
+                for task in tasks:
+                    if task.eligible_at <= now and live_ids <= excluded[task.drive_id]:
+                        spawn()
+                        break
+
+            # Wait for worker traffic, then drain everything queued.
+            try:
+                msg = result_q.get(timeout=res.poll_interval_s)
+            except queue_module.Empty:
+                msg = None
+            while msg is not None:
+                worker = workers.get(msg["worker"])
+                if msg["kind"] == "start":
+                    # Refine the deadline to the actual start of work.
+                    if (
+                        worker is not None
+                        and worker.current == (msg["drive"], msg["attempt"])
+                        and res.drive_timeout_s is not None
+                    ):
+                        worker.deadline = time.monotonic() + res.drive_timeout_s
+                elif msg["kind"] == "done":
+                    handle_done(msg)
+                try:
+                    msg = result_q.get_nowait()
+                except queue_module.Empty:
+                    msg = None
+
+            # Watchdog scan: deadlines, wedged heartbeats, dead workers.
+            now = time.monotonic()
+            for worker in list(workers.values()):
+                if worker.worker_id not in workers:
+                    continue
+                alive = worker.process.is_alive()
+                if not alive:
+                    reap_worker(worker)
+                    continue
+                if worker.current is None:
+                    continue
+                if worker.deadline is not None and now > worker.deadline:
+                    kill_worker(worker, "exceeded its deadline")
+                elif (now - worker.heartbeat.value) > res.heartbeat_timeout_s:
+                    kill_worker(worker, "stopped heartbeating")
+
+            if shutdown is not None and shutdown.requested:
+                raise CampaignAborted(
+                    f"shutdown requested (signal {shutdown.signum}); "
+                    "completed drives are checkpointed"
+                )
+        hard_stop = False
+    finally:
+        _stop_pool(workers, result_q, graceful=not hard_stop)
+
+    return merge_drive_results(campaign, routes, results)
+
+
+def _stop_pool(workers: dict[int, _Worker], result_q, graceful: bool) -> None:
+    """Tear the pool down; politely when the work finished, not when
+    aborting (a hung worker would stall a polite join forever)."""
+    if graceful:
+        for worker in workers.values():
+            if worker.process.is_alive():
+                try:
+                    worker.task_q.put_nowait(None)
+                except (queue_module.Full, OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + 5.0
+        for worker in workers.values():
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+    for worker in workers.values():
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(1.0)
+        worker.task_q.close()
+        worker.task_q.cancel_join_thread()
+    result_q.close()
+    result_q.cancel_join_thread()

@@ -1,0 +1,76 @@
+"""Graceful shutdown: turn SIGTERM/SIGINT into a clean checkpoint.
+
+A field campaign gets interrupted — the van stops, the battery dies, the
+operator hits Ctrl+C.  The difference between losing a drive and losing
+nothing is *when* the process dies: the campaign loop checkpoints after
+every completed drive, so the right response to a termination signal is
+"finish the drive in flight, write the checkpoint, then exit" rather
+than dying mid-write.  :func:`graceful_shutdown` installs exactly that:
+the first SIGTERM/SIGINT sets a flag the campaign polls at its next
+drive boundary (raising :class:`~repro.resilience.taxonomy.CampaignAborted`
+after the checkpoint is on disk); a second signal falls through to an
+immediate ``KeyboardInterrupt`` for operators who mean it.
+
+Handlers can only be installed from the main thread; anywhere else the
+context manager degrades to a no-op flag, so library code can use it
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ShutdownFlag:
+    """Cooperative shutdown state shared with the campaign loop."""
+
+    __slots__ = ("requested", "signum")
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.signum: int | None = None
+
+    def __bool__(self) -> bool:
+        return self.requested
+
+
+@contextmanager
+def graceful_shutdown(
+    signums: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
+) -> Iterator[ShutdownFlag]:
+    """Install first-signal-is-graceful handlers for the duration.
+
+    Yields a :class:`ShutdownFlag`; the caller polls ``flag.requested``
+    at safe points.  Previous handlers are restored on exit.
+    """
+    flag = ShutdownFlag()
+    if threading.current_thread() is not threading.main_thread():
+        # Signal handlers are a main-thread privilege; elsewhere the
+        # flag simply never trips and default handling applies.
+        yield flag
+        return
+
+    def handler(signum, frame):
+        if flag.requested:
+            # Second signal: the operator wants out *now*.
+            raise KeyboardInterrupt(f"second signal {signum}: aborting immediately")
+        flag.requested = True
+        flag.signum = signum
+
+    previous: dict[int, object] = {}
+    for signum in signums:
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # exotic platforms / blocked signals
+            continue
+    try:
+        yield flag
+    finally:
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):
+                continue
