@@ -8,6 +8,7 @@ the cell can give one user, and capped at the band's practical peak.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -50,7 +51,7 @@ class CellLoad:
     """Mean-reverting cell utilization, busier in populated areas."""
 
     #: Long-run mean load per area type.
-    MEAN_LOAD = {
+    MEAN_LOAD: ClassVar[dict[AreaType, float]] = {
         AreaType.URBAN: 0.45,
         AreaType.SUBURBAN: 0.35,
         AreaType.RURAL: 0.25,

@@ -66,7 +66,7 @@ def group_means(
     """Mean of ``values`` grouped by ``keys`` (e.g. speed bucket -> Mbps)."""
     sums: dict = {}
     counts: dict = {}
-    for key, value in zip(keys, values):
+    for key, value in zip(keys, values, strict=True):
         sums[key] = sums.get(key, 0.0) + value
         counts[key] = counts.get(key, 0) + 1
     return {key: sums[key] / counts[key] for key in sums}

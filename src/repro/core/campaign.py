@@ -356,9 +356,18 @@ class CampaignReport:
             "drives_resumed": self.drives_resumed,
             "drives_failed": self.drives_failed,
             "failures": [f.to_dict() for f in self.failures],
-            "fault_seconds": dict(self.fault_seconds),
+            # Sorted by fault kind: the aggregation loop builds these in
+            # payload-encounter order, which depends on which drive hit
+            # which fault first — equal totals must serialize equally.
+            "fault_seconds": {
+                kind: self.fault_seconds[kind]
+                for kind in sorted(self.fault_seconds)
+            },
             "fault_outage_seconds": self.fault_outage_seconds,
-            "scheduled_faults": dict(self.scheduled_faults),
+            "scheduled_faults": {
+                kind: self.scheduled_faults[kind]
+                for kind in sorted(self.scheduled_faults)
+            },
             "num_tests": self.num_tests,
             "checkpoint_path": self.checkpoint_path,
             "resilience": dict(self.resilience),
@@ -578,7 +587,7 @@ class Campaign:
                             payload = self._simulate_drive(drive_id, route)
                         finally:
                             self.obs = previous_obs
-                except Exception as exc:  # noqa: BLE001 — isolation is the point
+                except Exception as exc:  # isolation is the point
                     failures.append(
                         DriveFailure.from_exception(drive_id, route.name, exc)
                     )

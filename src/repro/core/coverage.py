@@ -123,7 +123,7 @@ def best_of(
     if len(lengths) != 1:
         raise RuntimeError("alignment produced ragged series")
     columns = [aligned[n] for n in networks]
-    return [max(values) for values in zip(*columns)]
+    return [max(values) for values in zip(*columns, strict=True)]
 
 
 def figure9_shares(
@@ -149,7 +149,7 @@ def figure9_shares(
         single("VZ"),
         combo("BestCL", cl),
         single("RM"),
-        combo("RM+CL", ["RM"] + cl),
+        combo("RM+CL", ["RM", *cl]),
         single("MOB"),
-        combo("MOB+CL", ["MOB"] + cl),
+        combo("MOB+CL", ["MOB", *cl]),
     ]

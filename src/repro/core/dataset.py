@@ -201,9 +201,15 @@ class DriveDataset:
             {
                 "trace_minutes": self.trace_minutes,
                 "distance_km": self.distance_km,
+                # Sorted: two datasets with equal proportions must
+                # serialize byte-identically no matter what order the
+                # caller's dict was built in.
                 "area_proportions": {
                     area.value: share
-                    for area, share in self.area_proportions.items()
+                    for area, share in sorted(
+                        self.area_proportions.items(),
+                        key=lambda item: item[0].value,
+                    )
                 },
                 "records": [record_to_dict(rec) for rec in self.records],
             }

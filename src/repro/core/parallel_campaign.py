@@ -89,7 +89,7 @@ def _run_drive(drive_id: int, observe: bool) -> dict:
     started = time.perf_counter()
     try:
         payload = campaign._simulate_drive(drive_id, route)
-    except Exception as exc:  # noqa: BLE001 — isolation, as in serial runs
+    except Exception as exc:  # isolation, as in serial runs
         return {
             "drive_id": drive_id,
             "ok": False,

@@ -35,7 +35,7 @@ def align_conditions(
         )
 
     shifted: list[dict[int, LinkConditions]] = []
-    for trace, offset in zip(traces, offsets):
+    for trace, offset in zip(traces, offsets, strict=True):
         by_second: dict[int, LinkConditions] = {}
         for sample in trace:
             second = int(math.floor(sample.time_s + offset))

@@ -48,7 +48,10 @@ class MotivationResult:
     def _leaders(self) -> list[str]:
         names = list(self.series_mbps)
         columns = [self.series_mbps[n] for n in names]
-        return [names[int(np.argmax(vals))] for vals in zip(*columns)]
+        return [
+            names[int(np.argmax(vals))]
+            for vals in zip(*columns, strict=True)
+        ]
 
 
 def run(duration_s: int = 1200, seed: int = 7) -> MotivationResult:
@@ -75,7 +78,7 @@ def run(duration_s: int = 1200, seed: int = 7) -> MotivationResult:
         lead_changes=0,
     )._leaders()
     lead_changes = sum(
-        1 for a, b in zip(leaders, leaders[1:]) if a != b
+        1 for a, b in zip(leaders, leaders[1:], strict=False) if a != b
     )
     return MotivationResult(
         duration_s=duration_s,

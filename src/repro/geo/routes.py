@@ -126,7 +126,7 @@ class RouteGenerator:
             points.append(
                 destination_point(around.location, angle, max(radius, 1.0))
             )
-        for a, b in zip(points, points[1:]):
+        for a, b in zip(points, points[1:], strict=False):
             route.segments.append(RoadSegment(a, b, self.TOWN_LIMIT_KMH))
         return route
 

@@ -110,7 +110,7 @@ class Constellation:
     def positions_ecef_km(self, time_s: float) -> np.ndarray:
         """ECEF positions (N, 3) of every satellite at ``time_s``."""
         chunks = []
-        for shell, (raan, phase0) in zip(self.shells, self._layouts):
+        for shell, (raan, phase0) in zip(self.shells, self._layouts, strict=True):
             inc = math.radians(shell.inclination_deg)
             r = shell.orbit_radius_km
             arg = phase0 + shell.mean_motion_rad_s * time_s

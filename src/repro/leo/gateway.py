@@ -85,7 +85,7 @@ class GatewayNetwork:
         user_ecef = geodetic_to_ecef_km(user)
         up_km = float(np.linalg.norm(sat_ecef_km - user_ecef))
         best_ms = float("inf")
-        for gw, gw_ecef in zip(self.gateways, self._ecef):
+        for gw, gw_ecef in zip(self.gateways, self._ecef, strict=True):
             down_km = float(np.linalg.norm(sat_ecef_km - gw_ecef))
             ground_km = haversine_km(user, gw.location)
             if ground_km > 1_500.0:

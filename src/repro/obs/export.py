@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 import os
 import re
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import ObsRecorder
@@ -21,13 +21,15 @@ from repro.obs.tracer import Span, SpanTracer
 # -- JSONL ---------------------------------------------------------------
 
 
-def write_jsonl(recorder: ObsRecorder, path: str | os.PathLike) -> int:
+def write_jsonl(recorder: ObsRecorder, path: str | os.PathLike[str]) -> int:
     """Dump every metric and span as one JSON object per line.
 
     Returns the number of lines written.  The first line is a header so
     readers can sanity-check provenance.
     """
-    lines = [{"type": "header", "format": "repro.obs.jsonl", "version": 1}]
+    lines: list[dict[str, Any]] = [
+        {"type": "header", "format": "repro.obs.jsonl", "version": 1}
+    ]
     lines.extend(recorder.registry.snapshot())
     lines.extend(span.to_dict() for span in recorder.tracer.spans)
     with open(path, "w") as handle:
@@ -37,7 +39,7 @@ def write_jsonl(recorder: ObsRecorder, path: str | os.PathLike) -> int:
     return len(lines)
 
 
-def read_jsonl(path: str | os.PathLike) -> ObsRecorder:
+def read_jsonl(path: str | os.PathLike[str]) -> ObsRecorder:
     """Rebuild a recorder (registry + spans) from a JSONL dump."""
     registry = MetricsRegistry()
     tracer = SpanTracer()
@@ -107,7 +109,9 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
                 out.append(f"# TYPE {name} histogram")
                 seen_help.add(name)
             running = 0
-            for bound, count in zip(entry["buckets"], entry["counts"]):
+            # counts has one overflow entry more than buckets; the zip
+            # dropping it is the point.
+            for bound, count in zip(entry["buckets"], entry["counts"], strict=False):
                 running += count
                 le = {**labels, "le": f"{bound:g}"}
                 out.append(f"{name}_bucket{_prom_labels(le)} {running}")

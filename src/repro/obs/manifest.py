@@ -14,6 +14,10 @@ import json
 import os
 import platform
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import ObsRecorder
 
 MANIFEST_VERSION = 1
 
@@ -47,19 +51,19 @@ class RunManifest:
     #: span name -> {count, total_s, min_s, max_s, mean_s}
     timings: dict[str, dict[str, float]] = field(default_factory=dict)
     #: :meth:`MetricsRegistry.snapshot` entries.
-    metrics: list[dict] = field(default_factory=list)
+    metrics: list[dict[str, Any]] = field(default_factory=list)
     #: Per-drive wall-clock rows: [{drive, route, duration_s, tests}, ...]
-    drives: list[dict] = field(default_factory=list)
+    drives: list[dict[str, Any]] = field(default_factory=list)
     #: Free-form run facts (num_tests, distance_km, ...).
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def from_recorder(
         cls,
-        recorder,
+        recorder: "ObsRecorder",
         fingerprint: str,
-        drives: list[dict] | None = None,
-        **extra,
+        drives: list[dict[str, Any]] | None = None,
+        **extra: Any,
     ) -> "RunManifest":
         """Snapshot an :class:`~repro.obs.recorder.ObsRecorder`."""
         import numpy as np
@@ -80,7 +84,7 @@ class RunManifest:
             extra=dict(extra),
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "version": MANIFEST_VERSION,
             "fingerprint": self.fingerprint,
@@ -93,7 +97,7 @@ class RunManifest:
         }
 
     @classmethod
-    def from_dict(cls, raw: dict) -> "RunManifest":
+    def from_dict(cls, raw: dict[str, Any]) -> "RunManifest":
         version = raw.get("version")
         if version != MANIFEST_VERSION:
             raise ValueError(
@@ -110,7 +114,7 @@ class RunManifest:
             extra=dict(raw.get("extra", {})),
         )
 
-    def deterministic_dict(self) -> dict:
+    def deterministic_dict(self) -> dict[str, Any]:
         """The manifest minus everything wall-clock or execution-shaped.
 
         Drops ``created_at``, span ``timings``, per-drive ``duration_s``,
@@ -152,7 +156,7 @@ class RunManifest:
         """Canonical JSON bytes of :meth:`deterministic_dict`."""
         return json.dumps(self.deterministic_dict(), sort_keys=True).encode()
 
-    def save_json(self, path: str | os.PathLike) -> None:
+    def save_json(self, path: str | os.PathLike[str]) -> None:
         """Atomically persist the manifest with an embedded content
         digest (verified by :meth:`load_json`)."""
         from repro.resilience.integrity import embed_digest
@@ -177,7 +181,7 @@ class RunManifest:
             raise
 
     @classmethod
-    def load_json(cls, path: str | os.PathLike) -> "RunManifest":
+    def load_json(cls, path: str | os.PathLike[str]) -> "RunManifest":
         """Load a manifest, verifying its content digest when present.
 
         Raises :class:`~repro.resilience.ArtifactCorruptError` on a

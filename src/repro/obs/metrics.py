@@ -13,7 +13,7 @@ different construction sites aggregate into one series.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable, Iterator, TypeVar
 
 #: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
 DEFAULT_BUCKETS = (
@@ -36,7 +36,7 @@ class Counter:
 
     __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
@@ -46,7 +46,7 @@ class Counter:
             raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
         self.value += amount
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "type": "counter",
             "name": self.name,
@@ -60,7 +60,7 @@ class Gauge:
 
     __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
@@ -73,7 +73,7 @@ class Gauge:
         if value > self.value:
             self.value = float(value)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "type": "gauge",
             "name": self.name,
@@ -97,7 +97,7 @@ class Histogram:
         name: str,
         buckets: Iterable[float] = DEFAULT_BUCKETS,
         labels: tuple[tuple[str, str], ...] = (),
-    ):
+    ) -> None:
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds:
             raise ValueError(f"histogram {name!r} needs at least one bucket")
@@ -124,13 +124,14 @@ class Histogram:
 
     def cumulative_counts(self) -> list[int]:
         """Prometheus ``le`` semantics: counts accumulated left to right."""
-        out, running = [], 0
+        out: list[int] = []
+        running = 0
         for c in self.counts:
             running += c
             out.append(running)
         return out
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "type": "histogram",
             "name": self.name,
@@ -146,11 +147,16 @@ def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+Metric = Counter | Gauge | Histogram
+_MetricKey = tuple[type, str, tuple[tuple[str, str], ...]]
+_SimpleMetric = TypeVar("_SimpleMetric", Counter, Gauge)
+
+
 class MetricsRegistry:
     """All metrics of one run, keyed by ``(name, labels)``."""
 
-    def __init__(self):
-        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+    def __init__(self) -> None:
+        self._metrics: dict[_MetricKey, Metric] = {}
 
     def counter(self, name: str, /, **labels: str) -> Counter:
         return self._get(Counter, name, labels)
@@ -167,15 +173,22 @@ class MetricsRegistry:
     ) -> Histogram:
         key = (Histogram, name, _label_key(labels))
         metric = self._metrics.get(key)
-        if metric is None:
+        # The key embeds the class, so the isinstance check is really a
+        # presence check — but it also narrows the stored union type.
+        if not isinstance(metric, Histogram):
             metric = Histogram(name, buckets=buckets, labels=_label_key(labels))
             self._metrics[key] = metric
-        return metric  # type: ignore[return-value]
+        return metric
 
-    def _get(self, cls, name: str, labels: dict[str, str]):
+    def _get(
+        self,
+        cls: type[_SimpleMetric],
+        name: str,
+        labels: dict[str, str],
+    ) -> _SimpleMetric:
         key = (cls, name, _label_key(labels))
         metric = self._metrics.get(key)
-        if metric is None:
+        if not isinstance(metric, cls):
             metric = cls(name, labels=_label_key(labels))
             self._metrics[key] = metric
         return metric
@@ -183,10 +196,10 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Metric]:
         return iter(self._metrics.values())
 
-    def snapshot(self) -> list[dict]:
+    def snapshot(self) -> list[dict[str, Any]]:
         """Serializable state of every metric, sorted for stable output."""
         return [
             m.to_dict()
@@ -195,7 +208,7 @@ class MetricsRegistry:
             )
         ]
 
-    def restore(self, entries: Iterable[dict]) -> None:
+    def restore(self, entries: Iterable[dict[str, Any]]) -> None:
         """Load a :meth:`snapshot` back into this registry (round-trip)."""
         for entry in entries:
             kind = entry["type"]
@@ -214,7 +227,7 @@ class MetricsRegistry:
             else:
                 raise ValueError(f"unknown metric type {kind!r}")
 
-    def merge(self, entries: Iterable[dict]) -> None:
+    def merge(self, entries: Iterable[dict[str, Any]]) -> None:
         """Fold a :meth:`snapshot` into this registry.
 
         Merge semantics (the contract parallel campaign workers rely on):
@@ -262,12 +275,12 @@ class MetricsRegistry:
                 return float(metric.value)
         return 0.0
 
-    def by_name(self, name: str) -> list[Counter | Gauge | Histogram]:
+    def by_name(self, name: str) -> list[Metric]:
         """Every labelled series of one metric name."""
         return [m for m in self._metrics.values() if m.name == name]
 
 
-def merge_snapshots(*snapshots: Iterable[dict]) -> list[dict]:
+def merge_snapshots(*snapshots: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
     """Merge :meth:`MetricsRegistry.snapshot` lists into one snapshot.
 
     Pure function over snapshots: counters/histograms add, gauges take

@@ -22,10 +22,17 @@ switched with :func:`set_recorder` / :func:`use_recorder`.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterable, Iterator
+from types import TracebackType
+from typing import Any, Iterable, Iterator
 
-from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
-from repro.obs.tracer import SpanTracer
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import SpanTracer, _ActiveSpan
 
 
 class _NullCounter:
@@ -63,7 +70,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         pass
 
 
@@ -78,7 +90,7 @@ class NullRecorder:
 
     enabled = False
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         # Pickling (e.g. a config or channel shipped to a campaign worker
         # process) resolves back to the shared singleton, preserving the
         # "one inert instance" identity checks rely on.
@@ -95,7 +107,7 @@ class NullRecorder:
     ) -> _NullHistogram:
         return _NULL_HISTOGRAM
 
-    def span(self, name: str, /, **meta: str) -> _NullSpan:
+    def span(self, name: str, /, **meta: object) -> _NullSpan:
         return _NULL_SPAN
 
 
@@ -108,22 +120,22 @@ class ObsRecorder:
         self,
         registry: MetricsRegistry | None = None,
         tracer: SpanTracer | None = None,
-    ):
+    ) -> None:
         self.registry = registry or MetricsRegistry()
         self.tracer = tracer or SpanTracer()
 
-    def counter(self, name: str, /, **labels: str):
+    def counter(self, name: str, /, **labels: str) -> Counter:
         return self.registry.counter(name, **labels)
 
-    def gauge(self, name: str, /, **labels: str):
+    def gauge(self, name: str, /, **labels: str) -> Gauge:
         return self.registry.gauge(name, **labels)
 
     def histogram(
         self, name: str, /, buckets: Iterable[float] = DEFAULT_BUCKETS, **labels: str
-    ):
+    ) -> Histogram:
         return self.registry.histogram(name, buckets=buckets, **labels)
 
-    def span(self, name: str, /, **meta: str):
+    def span(self, name: str, /, **meta: object) -> _ActiveSpan:
         return self.tracer.span(name, **meta)
 
 

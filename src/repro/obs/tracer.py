@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Any
 
 
 @dataclass
@@ -30,7 +32,7 @@ class Span:
     parent: str | None = None
     meta: dict[str, str] = field(default_factory=dict)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "type": "span",
             "name": self.name,
@@ -42,7 +44,7 @@ class Span:
         }
 
     @classmethod
-    def from_dict(cls, raw: dict) -> "Span":
+    def from_dict(cls, raw: dict[str, Any]) -> "Span":
         return cls(
             name=raw["name"],
             start_s=float(raw["start_s"]),
@@ -58,7 +60,9 @@ class _ActiveSpan:
 
     __slots__ = ("_tracer", "name", "meta", "_start")
 
-    def __init__(self, tracer: "SpanTracer", name: str, meta: dict[str, str]):
+    def __init__(
+        self, tracer: "SpanTracer", name: str, meta: dict[str, str]
+    ) -> None:
         self._tracer = tracer
         self.name = name
         self.meta = meta
@@ -69,7 +73,12 @@ class _ActiveSpan:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         end = time.perf_counter()
         stack = self._tracer._stack
         stack.pop()
@@ -88,16 +97,16 @@ class _ActiveSpan:
 class SpanTracer:
     """Collects completed spans; nesting tracked via an explicit stack."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.spans: list[Span] = []
         self._stack: list[str] = []
         self._epoch = time.perf_counter()
 
-    def span(self, name: str, /, **meta: str) -> _ActiveSpan:
+    def span(self, name: str, /, **meta: object) -> _ActiveSpan:
         """A context manager timing ``name``; nests under any open span."""
         return _ActiveSpan(self, name, {k: str(v) for k, v in meta.items()})
 
-    def record(self, name: str, /, duration_s: float, **meta: str) -> Span:
+    def record(self, name: str, /, duration_s: float, **meta: object) -> Span:
         """Append an already-measured span (no timing of our own).
 
         The parallel campaign uses this to graft worker-measured drive

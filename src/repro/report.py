@@ -38,7 +38,7 @@ def bar_chart(
     peak = max(max(values), 1e-12)
     label_width = max(len(l) for l in labels)
     rows = []
-    for label, value in zip(labels, values):
+    for label, value in zip(labels, values, strict=True):
         bar = _fill(value / peak * width)
         rows.append(f"{label:>{label_width}} |{bar:<{width}} {value:.1f}{unit}")
     return "\n".join(rows)
@@ -64,7 +64,7 @@ def stacked_shares(
         + "  "
         + "  ".join(f"{fills[i % len(fills)]}={name}" for i, name in enumerate(legend))
     ]
-    for label, row in zip(labels, shares):
+    for label, row in zip(labels, shares, strict=True):
         cells = []
         for i, share in enumerate(row):
             cells.append(fills[i % len(fills)] * int(round(share * width)))
@@ -92,7 +92,7 @@ def cdf_plot(
     x_max = max(v[-1] for v in data.values())
     x_max = max(x_max, 1e-9)
     canvas = [[" "] * width for _ in range(height)]
-    for idx, (name, values) in enumerate(data.items()):
+    for idx, values in enumerate(data.values()):
         marker = markers[idx % len(markers)]
         probs = np.arange(1, values.size + 1) / values.size
         for col in range(width):
@@ -129,7 +129,7 @@ def timeline(
     peak = max(peak, 1e-9)
     length = max(len(v) for v in arrays.values())
     canvas = [[" "] * width for _ in range(height)]
-    for idx, (name, values) in enumerate(arrays.items()):
+    for idx, values in enumerate(arrays.values()):
         marker = markers[idx % len(markers)]
         for col in range(width):
             pos = int(col / width * length)

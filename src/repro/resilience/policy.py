@@ -19,6 +19,9 @@ because any retry/watchdog setting produces byte-identical output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
 
 #: Bucket bounds for the per-drive attempt histogram
 #: (``resilience.drive_attempts``): most drives take 1 attempt, a
@@ -58,7 +61,9 @@ class RetryPolicy:
     def max_retries(self) -> int:
         return self.max_attempts - 1
 
-    def delay_s(self, retry_index: int, rng=None) -> float:
+    def delay_s(
+        self, retry_index: int, rng: np.random.Generator | None = None
+    ) -> float:
         """Backoff before retry ``retry_index`` (1-based).
 
         ``rng`` is a ``numpy.random.Generator`` (typically
@@ -140,7 +145,7 @@ class ResilienceReport:
     checkpoint_quarantined: str | None = None
     checkpoint_error: str | None = None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "retries": self.retries,
             "watchdog_kills": self.watchdog_kills,

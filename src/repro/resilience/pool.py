@@ -139,7 +139,7 @@ def _worker_main(
             started = time.perf_counter()
             try:
                 payload = campaign._simulate_drive(drive_id, route)
-            except Exception as exc:  # noqa: BLE001 — isolation is the point
+            except Exception as exc:  # isolation is the point
                 result_q.put(
                     {
                         "kind": "done",

@@ -20,7 +20,7 @@ class RngStreams:
     which other streams were requested first.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         if seed < 0:
             raise ValueError(f"seed must be non-negative, got {seed}")
         self.seed = seed

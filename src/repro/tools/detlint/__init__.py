@@ -1,0 +1,14 @@
+"""detlint — determinism & invariant static analysis for this repo.
+
+Run it with ``python -m repro.tools.detlint [paths]``; the rules and
+their rationale live in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.tools.detlint.engine import (
+    Finding,
+    RULES,
+    rule_codes,
+    run_paths,
+)
+
+__all__ = ["Finding", "RULES", "rule_codes", "run_paths"]

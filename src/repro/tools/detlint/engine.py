@@ -1,0 +1,321 @@
+"""The detlint engine: findings, the rule registry, and suppressions.
+
+detlint is a purpose-built static analyzer for *this* repository's
+determinism contract (see ``docs/STATIC_ANALYSIS.md``).  General linters
+check style; detlint checks the invariants the keystone byte-identity
+tests rely on — all randomness flows through :mod:`repro.rng`
+substreams, simulation code never reads wall clocks, and nothing
+nondeterministic reaches a fingerprinted or digested artifact.  It is
+stdlib-only (``ast``) so it runs anywhere the repo does.
+
+Architecture:
+
+* :class:`Finding` — one diagnostic, sortable into stable output order.
+* :class:`FileContext` — a parsed module plus everything rules need
+  (dotted module name, raw lines, per-line suppressions) and a scratch
+  area where file rules leave data for project rules.
+* file rules (:func:`rule`) run per module; project rules
+  (:func:`project_rule`) run once over all parsed modules and check
+  cross-file invariants (e.g. that the manifest's metric exclusions
+  still name real series).
+* suppressions — ``# detlint: ignore[CODE]`` on the offending line
+  silences that code there; a suppression that silences nothing is
+  itself reported (:data:`UNUSED_SUPPRESSION_CODE`), so stale ignores
+  cannot accumulate.
+
+The dotted module name drives rule scoping (e.g. wall-clock bans apply
+to simulation packages only).  It is normally derived from the file
+path (``src/repro/leo/channel.py`` -> ``repro.leo.channel``); test
+fixtures that live outside the package tree can claim a module with a
+``# detlint-module: repro.core.something`` header comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+#: Code attached to ``# detlint: ignore[...]`` comments that suppressed
+#: nothing.  Selectable/ignorable like any rule code.
+UNUSED_SUPPRESSION_CODE = "SUP001"
+
+#: Code attached to files that fail to parse.
+PARSE_ERROR_CODE = "SYN001"
+
+_SUPPRESSION_RE = re.compile(r"#\s*detlint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+_MODULE_OVERRIDE_RE = re.compile(r"^#\s*detlint-module:\s*([A-Za-z0-9_.]+)\s*$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, which rule, and what went wrong."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything the rules know about one parsed module."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    lines: list[str]
+    #: line -> set of rule codes suppressed on that line.
+    suppressions: dict[int, set[str]]
+    #: Scratch shared with project rules; file rules append here (e.g.
+    #: INV101 leaves every registered metric-series name).
+    shared: dict[str, Any] = field(default_factory=dict)
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry entry: code, one-line summary, and the check callable."""
+
+    code: str
+    summary: str
+    check: Callable[..., Iterable[Finding]]
+    project: bool = False
+
+
+#: All registered rules, keyed by code (insertion order = doc order).
+RULES: dict[str, RuleInfo] = {}
+
+
+def rule(code: str, summary: str) -> Callable[[Callable[[FileContext], Iterable[Finding]]], Callable[[FileContext], Iterable[Finding]]]:
+    """Register a per-file rule (``check(ctx) -> findings``)."""
+
+    def wrap(fn: Callable[[FileContext], Iterable[Finding]]) -> Callable[[FileContext], Iterable[Finding]]:
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code!r}")
+        RULES[code] = RuleInfo(code=code, summary=summary, check=fn)
+        return fn
+
+    return wrap
+
+
+def project_rule(code: str, summary: str) -> Callable[[Callable[[list[FileContext]], Iterable[Finding]]], Callable[[list[FileContext]], Iterable[Finding]]]:
+    """Register a cross-file rule (``check(contexts) -> findings``).
+
+    A project rule may share a code with a per-file rule (both halves of
+    one documented invariant); it is stored under ``<code>/project``.
+    """
+
+    def wrap(fn: Callable[[list[FileContext]], Iterable[Finding]]) -> Callable[[list[FileContext]], Iterable[Finding]]:
+        key = f"{code}/project"
+        if key in RULES:
+            raise ValueError(f"duplicate project rule code {code!r}")
+        RULES[key] = RuleInfo(code=code, summary=summary, check=fn, project=True)
+        return fn
+
+    return wrap
+
+
+def rule_codes() -> list[str]:
+    """Every selectable rule code (deduplicated, registry order)."""
+    seen: list[str] = []
+    for info in RULES.values():
+        if info.code not in seen:
+            seen.append(info.code)
+    if UNUSED_SUPPRESSION_CODE not in seen:
+        seen.append(UNUSED_SUPPRESSION_CODE)
+    return seen
+
+
+# -- module discovery ----------------------------------------------------
+
+
+def module_name_for(path: str, first_line: str = "") -> str:
+    """Dotted module name for a file path.
+
+    A ``# detlint-module: x.y.z`` header comment wins (fixtures);
+    otherwise the name is the path from the last ``repro`` directory
+    down (how the repo lays out ``src/repro/...``); otherwise the bare
+    stem.
+    """
+    match = _MODULE_OVERRIDE_RE.match(first_line.strip())
+    if match:
+        return match.group(1)
+    parts = list(os.path.normpath(path).split(os.sep))
+    stem = os.path.splitext(parts[-1])[0]
+    parts[-1] = stem
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = [stem]
+    if parts[-1] == "__init__":
+        parts = parts[:-1] or [stem]
+    return ".".join(parts)
+
+
+def parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """``{line_number: {codes}}`` for every ``detlint: ignore`` comment."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            if codes:
+                out[lineno] = codes
+    return out
+
+
+# -- running -------------------------------------------------------------
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    seen: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d != "__pycache__" and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    full = os.path.join(dirpath, name)
+                    if full not in seen:
+                        seen.add(full)
+                        yield full
+
+
+def load_context(path: str) -> FileContext | Finding:
+    """Parse one file into a :class:`FileContext` (or a parse Finding)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding(path=path, line=1, col=1, code=PARSE_ERROR_CODE,
+                       message=f"unreadable: {exc}")
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return Finding(path=path, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                       code=PARSE_ERROR_CODE, message=f"syntax error: {exc.msg}")
+    lines = text.splitlines()
+    return FileContext(
+        path=path,
+        module=module_name_for(path, lines[0] if lines else ""),
+        tree=tree,
+        lines=lines,
+        suppressions=parse_suppressions(lines),
+    )
+
+
+def active_codes(select: Iterable[str] | None, ignore: Iterable[str] | None) -> set[str]:
+    """Resolve ``--select``/``--ignore`` into the set of codes to run."""
+    codes = set(rule_codes())
+    if select:
+        wanted = set(select)
+        unknown = wanted - codes
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        codes = wanted
+    if ignore:
+        unknown = set(ignore) - set(rule_codes())
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        codes -= set(ignore)
+    return codes
+
+
+def run_paths(
+    paths: Iterable[str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under ``paths``; return sorted findings.
+
+    Suppressed findings are dropped; suppressions that matched nothing
+    become :data:`UNUSED_SUPPRESSION_CODE` findings (unless that code
+    is itself deselected).  Parse failures surface as
+    :data:`PARSE_ERROR_CODE` findings — a file detlint cannot read is
+    a file whose invariants nobody checked.
+    """
+    # Import for side effect: rule registration.
+    from repro.tools.detlint import rules as _rules  # noqa: F401
+
+    codes = active_codes(select, ignore)
+    contexts: list[FileContext] = []
+    raw: list[Finding] = []
+    for path in iter_python_files(paths):
+        loaded = load_context(path)
+        if isinstance(loaded, Finding):
+            raw.append(loaded)
+            continue
+        contexts.append(loaded)
+
+    for ctx in contexts:
+        for info in RULES.values():
+            if info.project or info.code not in codes:
+                continue
+            raw.extend(info.check(ctx))
+    for info in RULES.values():
+        if info.project and info.code in codes:
+            raw.extend(info.check(contexts))
+
+    findings: list[Finding] = []
+    used: dict[tuple[str, int], set[str]] = {}
+    by_path = {ctx.path: ctx for ctx in contexts}
+    for finding in raw:
+        ctx = by_path.get(finding.path)
+        suppressed = ctx is not None and finding.code in ctx.suppressions.get(
+            finding.line, set()
+        )
+        if suppressed:
+            used.setdefault((finding.path, finding.line), set()).add(finding.code)
+        else:
+            findings.append(finding)
+
+    if UNUSED_SUPPRESSION_CODE in codes:
+        for ctx in contexts:
+            for lineno, supp_codes in ctx.suppressions.items():
+                for code in sorted(supp_codes):
+                    if code not in codes or code == UNUSED_SUPPRESSION_CODE:
+                        continue
+                    if code not in used.get((ctx.path, lineno), set()):
+                        findings.append(Finding(
+                            path=ctx.path,
+                            line=lineno,
+                            col=1,
+                            code=UNUSED_SUPPRESSION_CODE,
+                            message=(
+                                f"unused suppression: no {code} finding on "
+                                "this line — remove the ignore"
+                            ),
+                        ))
+    return sorted(findings)

@@ -1,0 +1,10 @@
+# detlint-module: repro.leo.fixture_det001
+"""Fixture: module-level RNG outside repro.rng (DET001 fires twice)."""
+import random  # line 3: stdlib random import
+
+import numpy as np
+
+
+def jitter() -> float:
+    np.random.seed(7)  # line 9: numpy global RNG
+    return random.random()

@@ -1,0 +1,7 @@
+# detlint-module: repro.core.fixture_det002
+"""Fixture: wall-clock read inside a simulation package (DET002)."""
+import time
+
+
+def stamp() -> float:
+    return time.time()  # line 7: host clock in simulation code

@@ -1,0 +1,6 @@
+# detlint-module: repro.core.fixture_det003
+"""Fixture: set iteration feeding ordered output (DET003)."""
+
+
+def networks() -> list[str]:
+    return list({"RM", "MOB", "ATT"})  # line 6: ordered output from a set

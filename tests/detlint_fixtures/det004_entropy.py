@@ -1,0 +1,6 @@
+# detlint-module: repro.core.fixture_det004
+"""Fixture: ambient entropy near artifact code (DET004)."""
+
+
+def fingerprint(payload: str) -> int:
+    return hash(payload)  # line 6: process-salted hash

@@ -1,0 +1,6 @@
+# detlint-module: repro.experiments.fixture_det005
+"""Fixture: post-construction fingerprint-field mutation (DET005)."""
+
+
+def widen(config) -> None:
+    config.seed = 99  # line 6: fingerprint field mutated in place

@@ -1,0 +1,6 @@
+# detlint-module: repro.obs.fixture_inv101
+"""Fixture: metric series name off the subsystem.metric pattern (INV101)."""
+
+
+def register(obs) -> None:
+    obs.counter("BadSeriesName")  # line 6: not lowercase dotted

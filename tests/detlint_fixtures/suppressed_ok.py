@@ -1,0 +1,8 @@
+# detlint-module: repro.core.fixture_suppressed
+"""Fixture: a justified violation silenced by an inline suppression."""
+import time
+
+
+def stamp() -> float:
+    # Hypothetical justified exception, silenced with a suppression.
+    return time.time()  # detlint: ignore[DET002] fixture-only justification

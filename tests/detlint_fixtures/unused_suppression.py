@@ -1,0 +1,6 @@
+# detlint-module: repro.core.fixture_unused
+"""Fixture: a suppression with nothing to suppress (SUP001)."""
+
+
+def clean() -> int:
+    return 1  # detlint: ignore[DET001] stale ignore, nothing fires here

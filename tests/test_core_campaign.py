@@ -101,3 +101,37 @@ def test_city_drive_config():
     )
     ds = run_campaign(config)
     assert ds.num_tests > 0
+
+
+def test_report_json_byte_identical_across_fault_dict_order(tmp_path):
+    """Equal reports serialize to equal bytes regardless of the order
+    fault kinds were first encountered.
+
+    Regression test: ``CampaignReport.to_dict`` used to emit
+    ``fault_seconds``/``scheduled_faults`` in dict insertion order,
+    which depends on which drive hit which fault kind first — so two
+    runs with identical totals could write different report files.
+    """
+    from repro.core.campaign import CampaignReport
+
+    kwargs = dict(
+        drives_total=2,
+        drives_completed=2,
+        num_tests=10,
+        fault_outage_seconds=30,
+    )
+    forward = CampaignReport(
+        fault_seconds={"satellite_outage": 30, "cell_outage": 12},
+        scheduled_faults={"satellite_outage": 2, "cell_outage": 1},
+        **kwargs,
+    )
+    reverse = CampaignReport(
+        fault_seconds={"cell_outage": 12, "satellite_outage": 30},
+        scheduled_faults={"cell_outage": 1, "satellite_outage": 2},
+        **kwargs,
+    )
+    path_a = tmp_path / "forward.json"
+    path_b = tmp_path / "reverse.json"
+    forward.save_json(path_a)
+    reverse.save_json(path_b)
+    assert path_a.read_bytes() == path_b.read_bytes()

@@ -142,3 +142,43 @@ def test_json_round_trip(dataset, tmp_path):
         == dataset.records[0].samples[0].throughput_mbps
     )
     assert loaded.records[5].samples[0].area is AreaType.URBAN
+
+
+def test_save_json_byte_identical_across_dict_insertion_order(tmp_path):
+    """Equal datasets serialize to equal bytes regardless of how the
+    caller's ``area_proportions`` dict was built.
+
+    Regression test: ``save_json`` used to iterate the dict in
+    insertion order, so two semantically identical datasets (one built
+    urban-first, one rural-first) produced different files — breaking
+    the byte-identity guarantee every resume/parallel equivalence test
+    leans on.
+    """
+    records = [record()]
+    forward = DriveDataset(
+        records,
+        trace_minutes=10.0,
+        distance_km=12.0,
+        area_proportions={
+            AreaType.URBAN: 0.2,
+            AreaType.SUBURBAN: 0.3,
+            AreaType.RURAL: 0.5,
+        },
+    )
+    reverse = DriveDataset(
+        records,
+        trace_minutes=10.0,
+        distance_km=12.0,
+        area_proportions={
+            AreaType.RURAL: 0.5,
+            AreaType.SUBURBAN: 0.3,
+            AreaType.URBAN: 0.2,
+        },
+    )
+    path_a = tmp_path / "forward.json"
+    path_b = tmp_path / "reverse.json"
+    forward.save_json(path_a)
+    reverse.save_json(path_b)
+    assert path_a.read_bytes() == path_b.read_bytes()
+    # And the digest still verifies after the ordering change.
+    assert DriveDataset.load_json(path_a).area_proportions == forward.area_proportions
