@@ -67,6 +67,8 @@ from repro.resilience import (
     verify_digest,
 )
 from repro.rng import RngStreams
+from repro.store import DriveCache, ShardStore
+from repro.store.commit import atomic_write_json
 from repro.tools.tracker import Tracker
 
 #: Devices the vehicle carries (5 networks measured at once).
@@ -155,6 +157,21 @@ class CampaignConfig:
     #: from :meth:`fingerprint` because retried and watchdog-healed runs
     #: are byte-identical to untouched ones.
     resilience: ResilienceConfig | None = None
+    #: How ``checkpoint_path`` is laid out: ``"json"`` keeps the legacy
+    #: monolithic checkpoint file; ``"jsonl"`` makes it a
+    #: :class:`repro.store.ShardStore` directory of digest-chained
+    #: per-drive shards that stream as tests complete (see
+    #: ``docs/ARTIFACTS.md``).  Execution-only knob like ``workers``:
+    #: excluded from :meth:`fingerprint` because both formats hold the
+    #: byte-identical payloads.
+    artifact_format: str = "json"
+    #: Optional content-addressed result cache
+    #: (:class:`repro.store.DriveCache`).  Drives already cached under
+    #: ``(fingerprint(), drive_id)`` are restored instead of recomputed;
+    #: entries are integrity-verified on read.  Execution-only knob:
+    #: excluded from :meth:`fingerprint` because cached and recomputed
+    #: payloads are byte-identical.
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -198,6 +215,13 @@ class CampaignConfig:
             raise ValueError(
                 f"resilience must be a ResilienceConfig, got {type(self.resilience)}"
             )
+        if self.artifact_format not in ("json", "jsonl"):
+            raise ValueError(
+                f"artifact_format must be 'json' or 'jsonl', "
+                f"got {self.artifact_format!r}"
+            )
+        if self.cache_dir is not None:
+            self.cache_dir = os.fspath(self.cache_dir)
 
     @property
     def num_drives(self) -> int:
@@ -208,10 +232,13 @@ class CampaignConfig:
     def fingerprint(self) -> str:
         """Stable content hash: guards checkpoint/config mismatches.
 
-        Covers every knob that shapes the dataset; ``workers`` and
-        ``resilience`` are deliberately excluded, so a checkpoint
-        written by a serial run resumes under any worker count or
-        retry/watchdog setting (and vice versa).
+        Covers every knob that shapes the dataset; ``workers``,
+        ``resilience``, ``artifact_format``, and ``cache_dir`` are
+        deliberately excluded — they are execution knobs, so a
+        checkpoint written by a serial run resumes under any worker
+        count, retry/watchdog setting, artifact layout, or cache
+        configuration (and vice versa), and cached results address the
+        same key whatever execution shape produced them.
         """
         payload = {
             "seed": self.seed,
@@ -374,8 +401,7 @@ class CampaignReport:
         }
 
     def save_json(self, path: str | os.PathLike) -> None:
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
+        atomic_write_json(path, self.to_dict(), indent=2, boundary="report")
 
 
 class Campaign:
@@ -411,6 +437,17 @@ class Campaign:
         #: What the self-healing machinery did this run (see
         #: :class:`repro.resilience.ResilienceReport`).
         self._resilience = ResilienceReport()
+        #: Sharded artifact store when ``artifact_format == "jsonl"``
+        #: and a checkpoint path is in play; set by :meth:`run` (and by
+        #: the parallel executors in their workers).  ``None`` keeps the
+        #: legacy monolithic checkpoint writer.
+        self._shard_store: ShardStore | None = None
+        #: Content-addressed drive cache when ``cache_dir`` is set.
+        self._cache: DriveCache | None = None
+        #: Monolithic checkpoint path when no shard store is in play.
+        self._checkpoint_path: str | None = None
+        #: Config fingerprint, cached for the artifact writers.
+        self._fingerprint = self.config.fingerprint()
 
     # -- public API -----------------------------------------------------
 
@@ -446,6 +483,9 @@ class Campaign:
         obs = self.obs
         self._drive_rows = []
         self._resilience = ResilienceReport()
+        self._fingerprint = fingerprint
+        self._open_store(checkpoint_path, fingerprint)
+        self._cache = DriveCache(cfg.cache_dir) if cfg.cache_dir else None
 
         with obs.span("campaign.run", fingerprint=fingerprint), graceful_shutdown() as shutdown:
             routes = self._routes()
@@ -453,21 +493,24 @@ class Campaign:
             drive_payloads: dict[int, dict] = {}
             resumed = 0
             if checkpoint_path is not None and os.path.exists(checkpoint_path):
-                with obs.span("campaign.resume"):
-                    try:
-                        drive_payloads = _load_checkpoint(
-                            checkpoint_path, fingerprint
-                        )
-                    except CheckpointCorruptError as exc:
-                        drive_payloads = self._salvage_checkpoint(
-                            checkpoint_path, fingerprint, exc
-                        )
+                drive_payloads = self._resume(checkpoint_path, fingerprint)
                 resumed = len(drive_payloads)
                 obs.counter("campaign.drives_resumed").inc(resumed)
                 for drive_id in sorted(drive_payloads):
                     self._note_drive_resumed(
                         drive_id, routes[drive_id].name, drive_payloads[drive_id]
                     )
+
+            cached = self._restore_from_cache(routes, drive_payloads, fingerprint)
+            if (
+                checkpoint_path is not None
+                and self._shard_store is not None
+                and (resumed or cached)
+                and drive_payloads
+            ):
+                # Re-seed the store so migrated, salvaged, and cached
+                # drives are durably committed before execution starts.
+                self._commit_progress(drive_payloads)
 
             if cfg.workers > 1:
                 if cfg.resilience is not None:
@@ -508,6 +551,11 @@ class Campaign:
                 obs,
                 fingerprint,
                 drives=sorted(self._drive_rows, key=lambda row: row["drive"]),
+                artifacts=(
+                    self._shard_store.artifact_index()
+                    if self._shard_store is not None
+                    else None
+                ),
                 num_tests=dataset.num_tests,
                 distance_km=round(dataset.distance_km, 3),
                 trace_minutes=round(dataset.trace_minutes, 3),
@@ -520,6 +568,194 @@ class Campaign:
         return dataset
 
     # -- internals ---------------------------------------------------------
+
+    def _open_store(
+        self, checkpoint_path: str | os.PathLike | None, fingerprint: str
+    ) -> None:
+        """Decide the artifact layout for this run.
+
+        ``artifact_format == "jsonl"`` opens a :class:`ShardStore` at
+        the checkpoint path; so does an existing store *directory*
+        regardless of the configured format (a store, once sharded,
+        stays readable).  Everything else keeps the legacy monolithic
+        checkpoint writer.
+        """
+        self._shard_store = None
+        self._checkpoint_path = None
+        if checkpoint_path is None:
+            return
+        path = os.fspath(checkpoint_path)
+        if self.config.artifact_format == "jsonl" or os.path.isdir(path):
+            self._shard_store = ShardStore(path, fingerprint)
+        else:
+            self._checkpoint_path = path
+
+    def _resume(
+        self, checkpoint_path: str | os.PathLike, fingerprint: str
+    ) -> dict[int, dict]:
+        """Restore completed drives from whatever exists at the path."""
+        obs = self.obs
+        with obs.span("campaign.resume"):
+            if self._shard_store is None:
+                try:
+                    return _load_checkpoint(checkpoint_path, fingerprint)
+                except CheckpointCorruptError as exc:
+                    return self._salvage_checkpoint(
+                        checkpoint_path, fingerprint, exc
+                    )
+            path = os.fspath(checkpoint_path)
+            if os.path.isfile(path):
+                return self._migrate_legacy_checkpoint(path, fingerprint)
+            return self._load_store(fingerprint)
+
+    def _migrate_legacy_checkpoint(
+        self, path: str, fingerprint: str
+    ) -> dict[int, dict]:
+        """A monolithic checkpoint file sits where the store goes.
+
+        Load it through the legacy reader (salvage included), move the
+        file aside to ``<path>.legacy.json``, and let the caller commit
+        the restored drives into the fresh store directory — old
+        checkpoints stay readable and upgrade in place.
+        """
+        from repro.store.commit import fsync_dir
+
+        try:
+            payloads = _load_checkpoint(path, fingerprint)
+        except CheckpointCorruptError as exc:
+            # Quarantines the file itself, freeing the store's name.
+            return self._salvage_checkpoint(path, fingerprint, exc)
+        legacy = f"{path}.legacy.json"
+        os.replace(path, legacy)
+        fsync_dir(os.path.dirname(os.path.abspath(path)))
+        return payloads
+
+    def _load_store(self, fingerprint: str) -> dict[int, dict]:
+        """Recover the shard store, folding repairs into the report."""
+        obs = self.obs
+        store = self._shard_store
+        raw, recovery = store.load()
+        if recovery.manifest_quarantined is not None:
+            self._resilience.integrity_failures += 1
+            self._resilience.checkpoint_quarantined = recovery.manifest_quarantined
+            self._resilience.checkpoint_error = recovery.manifest_error
+            obs.counter(
+                "resilience.integrity_failures", artifact="checkpoint"
+            ).inc()
+            # The manifest is gone, but intact shards are self-proving
+            # (chain + end line).  Without observability they restore
+            # directly; an observed run recomputes them instead, because
+            # their metric snapshots lived in the lost manifest and a
+            # resumed run must still produce the clean-run manifest.
+            if not obs.enabled:
+                raw = self._adopt_orphan_shards(store)
+        if recovery.shards_quarantined:
+            count = len(recovery.shards_quarantined)
+            self._resilience.integrity_failures += count
+            obs.counter(
+                "resilience.integrity_failures", artifact="shard"
+            ).inc(count)
+        if recovery.wal_records_salvaged:
+            obs.counter("store.wal_records_salvaged").inc(
+                recovery.wal_records_salvaged
+            )
+        if (
+            recovery.manifest_quarantined is not None
+            or recovery.shards_quarantined
+        ):
+            self._resilience.drives_salvaged += len(raw)
+            obs.counter("resilience.drives_salvaged").inc(len(raw))
+        return {
+            drive_id: _payload_from_raw(payload)
+            for drive_id, payload in raw.items()
+        }
+
+    def _adopt_orphan_shards(self, store: ShardStore) -> dict[int, dict]:
+        """Strictly re-verified shards from a store with no manifest."""
+        from repro.store import read_shard, shard_name
+        from repro.store.shard import ShardCorruptError
+
+        raw: dict[int, dict] = {}
+        adopted: dict[int, dict] = {}
+        for drive_id in range(self.config.num_drives):
+            path = os.path.join(store.root, shard_name(drive_id))
+            if not os.path.exists(path):
+                continue
+            try:
+                data = read_shard(
+                    path, fingerprint=store.fingerprint, drive_id=drive_id
+                )
+            except ShardCorruptError:
+                continue  # recomputed; commit() will overwrite it
+            payload = dict(data.meta)
+            payload["records"] = data.records
+            raw[drive_id] = payload
+            adopted[drive_id] = {
+                "shard": shard_name(drive_id),
+                "records": len(data.records),
+                "head": data.head,
+            }
+        store._entries.update(adopted)
+        return raw
+
+    def _restore_from_cache(
+        self, routes: list[Route], drive_payloads: dict[int, dict], fingerprint: str
+    ) -> int:
+        """Fill not-yet-completed drives from the content-addressed cache.
+
+        Every entry is integrity-verified by the cache itself; a
+        damaged one is quarantined and the drive recomputes — a cache
+        can save work, never serve corrupt results.  Entries written by
+        an unobserved run carry no metric snapshot, so an *observed*
+        run treats them as misses (the deterministic manifest must
+        match a clean observed run's).
+        """
+        cache = self._cache
+        if cache is None:
+            return 0
+        obs = self.obs
+        hits = 0
+        with obs.span("campaign.cache"):
+            for drive_id, route in enumerate(routes):
+                if drive_id in drive_payloads:
+                    continue
+                raw, quarantined = cache.get(fingerprint, drive_id)
+                if quarantined is not None:
+                    self._resilience.integrity_failures += 1
+                    obs.counter(
+                        "resilience.integrity_failures", artifact="cache"
+                    ).inc()
+                    obs.counter("store.cache_quarantined").inc()
+                if raw is None or (obs.enabled and not raw.get("metrics")):
+                    obs.counter("store.cache_misses").inc()
+                    continue
+                payload = _payload_from_raw(raw)
+                drive_payloads[drive_id] = payload
+                hits += 1
+                obs.counter("store.cache_hits").inc()
+                self._note_drive_resumed(drive_id, route.name, payload)
+        return hits
+
+    def _commit_progress(self, drive_payloads: dict[int, dict]) -> None:
+        """Durably persist completed drives through the active layout."""
+        obs = self.obs
+        if self._shard_store is not None:
+            with obs.span("campaign.checkpoint"):
+                self._shard_store.commit(drive_payloads, _records_to_jsonable)
+        elif self._checkpoint_path is not None:
+            with obs.span("campaign.checkpoint"):
+                _write_checkpoint(
+                    self._checkpoint_path, self._fingerprint, drive_payloads
+                )
+
+    def _cache_put(self, drive_id: int, payload: dict) -> None:
+        """Store one freshly computed drive in the cache (if configured)."""
+        if self._cache is None:
+            return
+        records = [record_to_dict(r) for r in payload["records"]]
+        meta = {k: v for k, v in payload.items() if k != "records"}
+        self._cache.put(self._fingerprint, drive_id, records, meta)
+        self.obs.counter("store.cache_writes").inc()
 
     def _salvage_checkpoint(
         self,
@@ -605,12 +841,10 @@ class Campaign:
                         route.name,
                         time.perf_counter() - started,
                         len(payload["records"]),
+                        payload=payload,
                     )
             if checkpoint_path is not None:
-                with obs.span("campaign.checkpoint"):
-                    _write_checkpoint(
-                        checkpoint_path, fingerprint, drive_payloads
-                    )
+                self._commit_progress(drive_payloads)
             if shutdown is not None and shutdown.requested:
                 raise CampaignAborted(
                     f"shutdown requested (signal {shutdown.signum}); "
@@ -681,17 +915,30 @@ class Campaign:
                     "resilience.drive_attempts", buckets=ATTEMPT_BUCKETS
                 ).observe(attempt + 1)
                 self._note_drive_done(
-                    drive_id, route.name, elapsed, len(payload["records"])
+                    drive_id,
+                    route.name,
+                    elapsed,
+                    len(payload["records"]),
+                    payload=payload,
                 )
                 return payload, None
 
     def _note_drive_done(
-        self, drive_id: int, route_name: str, elapsed: float, tests: int
+        self,
+        drive_id: int,
+        route_name: str,
+        elapsed: float,
+        tests: int,
+        payload: dict | None = None,
     ) -> None:
         """Per-drive completion bookkeeping, shared by serial and parallel
         execution so both produce the same counters, histogram, gauges,
-        and manifest rows."""
+        and manifest rows.  ``payload`` (when the caller has it) feeds
+        the content-addressed cache: only freshly *computed* drives are
+        written back — resumed and cache-restored drives never are."""
         obs = self.obs
+        if payload is not None:
+            self._cache_put(drive_id, payload)
         obs.counter("campaign.drives_completed").inc()
         obs.counter("campaign.tests").inc(tests)
         obs.histogram(
@@ -799,6 +1046,14 @@ class Campaign:
         (``drive_id * TEST_ID_STRIDE``) depend only on the drive id, so
         the result is byte-identical regardless of what happened to other
         drives — the invariant checkpoint/resume relies on.
+
+        Under a shard store, records additionally *stream* to the
+        drive's write-ahead shard as they complete, and the shard is
+        sealed (fsync + atomic rename) before the payload is returned —
+        a crash mid-drive loses at most the record being written.  The
+        stream is a durability optimization only: the committing parent
+        re-derives the expected shard bytes from the payload and trusts
+        the streamed file only when identical.
         """
         cfg = self.config
         drive_rng = self.rng.fork(drive_id)
@@ -828,17 +1083,30 @@ class Campaign:
             }
             injectors = list(channels.values())
 
-        drive_records, _ = self._run_tests(
-            drive_id, tracker, channels, drive_id * TEST_ID_STRIDE
+        writer = (
+            self._shard_store.begin_drive(drive_id)
+            if self._shard_store is not None
+            else None
         )
+        try:
+            drive_records, _ = self._run_tests(
+                drive_id, tracker, channels, drive_id * TEST_ID_STRIDE, sink=writer
+            )
+        except BaseException:
+            if writer is not None:
+                writer.abort()
+            raise
 
-        return {
+        payload = {
             "records": drive_records,
             "trace_minutes": tracker.duration_minutes * DEVICES_PER_VEHICLE,
             "distance_km": tracker.distance_km,
             "area_counts": {area.value: c for area, c in area_counts.items()},
             **aggregate_fault_stats(injectors),
         }
+        if writer is not None:
+            writer.finish({k: v for k, v in payload.items() if k != "records"})
+        return payload
 
     def _routes(self) -> list[Route]:
         cities = self.places.cities()
@@ -906,7 +1174,11 @@ class Campaign:
         tracker: Tracker,
         channels: dict[str, object],
         test_id: int,
+        sink=None,
     ) -> tuple[list[TestRecord], int]:
+        """Run every scheduled test window; ``sink`` (a
+        :class:`repro.store.ShardWriter`) receives each completed record
+        as it exists, streaming results to durable storage mid-drive."""
         cfg = self.config
         records: list[TestRecord] = []
         metadata = tracker.records
@@ -984,23 +1256,37 @@ class Campaign:
                     retx[network] = loss_weighted[network] / max(
                         capacity_sum[network], 1e-9
                     )
-                records.append(
-                    TestRecord(
-                        test_id=test_id,
-                        drive_id=drive_id,
-                        network=network,
-                        protocol=kind.protocol,
-                        direction=kind.direction,
-                        parallel=kind.parallel,
-                        samples=per_network[network],
-                        retransmission_rate=min(retx.get(network, 0.0), 1.0),
-                    )
+                record = TestRecord(
+                    test_id=test_id,
+                    drive_id=drive_id,
+                    network=network,
+                    protocol=kind.protocol,
+                    direction=kind.direction,
+                    parallel=kind.parallel,
+                    samples=per_network[network],
+                    retransmission_rate=min(retx.get(network, 0.0), 1.0),
                 )
+                records.append(record)
+                if sink is not None:
+                    sink.append(record_to_dict(record))
                 test_id += 1
         return records, test_id
 
 
 # -- checkpoint I/O ------------------------------------------------------
+
+
+def _payload_from_raw(raw: dict) -> dict:
+    """JSON-level drive payload -> in-memory payload (records rebuilt)."""
+    return {
+        **{k: v for k, v in raw.items() if k != "records"},
+        "records": [record_from_dict(r) for r in raw["records"]],
+    }
+
+
+def _records_to_jsonable(records: list[TestRecord]) -> list[dict]:
+    """Record objects -> JSON dicts (the shard store's converter)."""
+    return [record_to_dict(r) for r in records]
 
 
 def _load_checkpoint(path: str | os.PathLike, fingerprint: str) -> dict[int, dict]:
@@ -1071,12 +1357,13 @@ def _write_checkpoint(
 ) -> None:
     """Durably and atomically persist completed drives.
 
-    Atomic: written to ``<path>.tmp``, flushed, fsynced, then renamed
-    over ``path`` — a crash mid-write leaves the previous checkpoint
-    untouched and no partial file under the real name; the tmp file is
-    removed on any failure.  Drives are emitted in drive-id order
-    regardless of completion order, so a checkpoint from a parallel run
-    is byte-identical to a serial one.  Each drive entry and the whole
+    Written through :func:`repro.store.commit.atomic_write_json` — tmp
+    file, fsync, atomic rename, directory fsync — so a crash (even a
+    power loss) at any boundary leaves the previous checkpoint intact
+    and no partial file under the real name; the tmp file is removed on
+    any failure.  Drives are emitted in drive-id order regardless of
+    completion order, so a checkpoint from a parallel run is
+    byte-identical to a serial one.  Each drive entry and the whole
     payload embed content digests (see :mod:`repro.resilience.integrity`)
     for load-time corruption detection and per-drive salvage.
     """
@@ -1097,19 +1384,7 @@ def _write_checkpoint(
         },
     }
     embed_digest(payload)
-    tmp_path = f"{os.fspath(path)}.tmp"
-    try:
-        with open(tmp_path, "w") as handle:
-            json.dump(payload, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+    atomic_write_json(path, payload, boundary="checkpoint")
 
 
 def run_campaign(

@@ -193,9 +193,13 @@ class DriveDataset:
         :mod:`repro.resilience.integrity`); :meth:`load_json` verifies
         it, so silent corruption surfaces at load time.  The digest is a
         pure function of content — byte-identical datasets stay
-        byte-identical.
+        byte-identical.  The write goes through the atomic commit
+        protocol (:mod:`repro.store.commit`): tmp file, fsync, rename,
+        directory fsync — a crash never leaves a torn dataset under the
+        real name.
         """
         from repro.resilience.integrity import embed_digest
+        from repro.store.commit import atomic_write_json
 
         payload = embed_digest(
             {
@@ -214,8 +218,7 @@ class DriveDataset:
                 "records": [record_to_dict(rec) for rec in self.records],
             }
         )
-        with open(path, "w") as handle:
-            json.dump(payload, handle)
+        atomic_write_json(path, payload, boundary="dataset")
 
     def export_csv(self, path: str | os.PathLike) -> int:
         """Write per-second rows as CSV (one row per sample); returns count.

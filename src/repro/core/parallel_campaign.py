@@ -56,16 +56,26 @@ from repro.obs.recorder import NULL_RECORDER, ObsRecorder
 _WORKER: dict = {}
 
 
-def _init_worker(config) -> None:
+def _init_worker(config, store_root=None) -> None:
     """Process-pool initializer: rebuild the campaign world from config.
 
     World construction is deterministic (named RNG substreams keyed off
     the config seed) and takes ~1 ms, so every worker independently
     arrives at the identical world a serial run would have built.
+
+    ``store_root`` (set when the parent runs a sharded store) lets the
+    worker *stream* each drive's records to its write-ahead shard as
+    they complete.  Streaming is a durability optimization only — the
+    parent re-derives the expected shard bytes when committing and only
+    trusts a streamed file that matches exactly.
     """
     from repro.core.campaign import Campaign
 
     campaign = Campaign(config, recorder=NULL_RECORDER)
+    if store_root is not None:
+        from repro.store import ShardStore
+
+        campaign._shard_store = ShardStore(store_root, config.fingerprint())
     _WORKER["campaign"] = campaign
     _WORKER["routes"] = campaign._routes()
 
@@ -139,7 +149,6 @@ def run_drives_parallel(
     :class:`~repro.resilience.CampaignAborted` after the last finished
     drive has been checkpointed, so a later run resumes cleanly.
     """
-    from repro.core.campaign import _write_checkpoint
     from repro.resilience import CampaignAborted
 
     cfg = campaign.config
@@ -148,6 +157,7 @@ def run_drives_parallel(
     if not pending:
         return []
 
+    store = campaign._shard_store
     max_workers = min(cfg.workers, len(pending))
     results: dict[int, dict] = {}
     with obs.span("campaign.parallel", workers=max_workers):
@@ -155,7 +165,7 @@ def run_drives_parallel(
             max_workers=max_workers,
             mp_context=_mp_context(),
             initializer=_init_worker,
-            initargs=(cfg,),
+            initargs=(cfg, store.root if store is not None else None),
         ) as pool:
             futures = {
                 pool.submit(_run_drive, drive_id, obs.enabled): drive_id
@@ -172,10 +182,7 @@ def run_drives_parallel(
                             result["payload"]["metrics"] = result["metrics"]
                         drive_payloads[result["drive_id"]] = result["payload"]
                     if checkpoint_path is not None:
-                        with obs.span("campaign.checkpoint"):
-                            _write_checkpoint(
-                                checkpoint_path, fingerprint, drive_payloads
-                            )
+                        campaign._commit_progress(drive_payloads)
                     if shutdown is not None and shutdown.requested:
                         raise CampaignAborted(
                             f"shutdown requested (signal {shutdown.signum}); "
@@ -229,6 +236,7 @@ def merge_drive_results(campaign, routes, results: dict[int, dict]) -> list:
                 routes[drive_id].name,
                 result["elapsed_s"],
                 len(result["payload"]["records"]),
+                payload=result["payload"],
             )
         else:
             failures.append(DriveFailure(**result["failure"]))

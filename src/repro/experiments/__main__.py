@@ -60,6 +60,21 @@ def main(argv: list[str] | None = None) -> int:
         "exceeding it is killed and requeued on another worker",
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed drive cache: reuse digest-verified drive "
+        "results across runs sharing a config fingerprint (same output "
+        "with or without the cache; see docs/ARTIFACTS.md)",
+    )
+    parser.add_argument(
+        "--artifact-format",
+        choices=["json", "jsonl"],
+        default=None,
+        help="checkpoint layout: monolithic 'json' or digest-chained "
+        "streaming 'jsonl' shards (see docs/ARTIFACTS.md)",
+    )
+    parser.add_argument(
         "--duration", type=int, default=None, help="test duration (seconds)"
     )
     parser.add_argument(
@@ -95,6 +110,16 @@ def main(argv: list[str] | None = None) -> int:
         set_default_resilience(
             ResilienceConfig(retry=retry, drive_timeout_s=args.drive_timeout)
         )
+
+    if args.cache_dir is not None:
+        from repro.experiments.common import set_default_cache_dir
+
+        set_default_cache_dir(args.cache_dir)
+
+    if args.artifact_format is not None:
+        from repro.experiments.common import set_default_artifact_format
+
+        set_default_artifact_format(args.artifact_format)
 
     module, description = REGISTRY[args.experiment]
     accepted = inspect.signature(module.run).parameters

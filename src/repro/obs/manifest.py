@@ -35,7 +35,7 @@ WALL_CLOCK_METRICS = frozenset(
 #: the dataset stays byte-identical, so the deterministic view drops
 #: them the same way it drops wall-clock series.
 EXECUTION_METRICS = frozenset({"campaign.drives_resumed"})
-EXECUTION_METRIC_PREFIXES = ("resilience.",)
+EXECUTION_METRIC_PREFIXES = ("resilience.", "store.")
 
 #: ``extra`` keys that are execution facts, not dataset facts.
 EXECUTION_EXTRA_KEYS = frozenset({"drives_resumed"})
@@ -54,6 +54,11 @@ class RunManifest:
     metrics: list[dict[str, Any]] = field(default_factory=list)
     #: Per-drive wall-clock rows: [{drive, route, duration_s, tests}, ...]
     drives: list[dict[str, Any]] = field(default_factory=list)
+    #: Artifact layout summary (shard names, record counts, head
+    #: digests) when the run used a sharded store — pure content, so it
+    #: survives into :meth:`deterministic_dict`.  Empty for monolithic
+    #: checkpoints.
+    artifacts: dict[str, Any] = field(default_factory=dict)
     #: Free-form run facts (num_tests, distance_km, ...).
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -63,6 +68,7 @@ class RunManifest:
         recorder: "ObsRecorder",
         fingerprint: str,
         drives: list[dict[str, Any]] | None = None,
+        artifacts: dict[str, Any] | None = None,
         **extra: Any,
     ) -> "RunManifest":
         """Snapshot an :class:`~repro.obs.recorder.ObsRecorder`."""
@@ -81,6 +87,7 @@ class RunManifest:
             timings=recorder.tracer.timings(),
             metrics=recorder.registry.snapshot(),
             drives=list(drives or []),
+            artifacts=dict(artifacts or {}),
             extra=dict(extra),
         )
 
@@ -93,6 +100,7 @@ class RunManifest:
             "timings": {k: dict(v) for k, v in self.timings.items()},
             "metrics": list(self.metrics),
             "drives": list(self.drives),
+            "artifacts": dict(self.artifacts),
             "extra": dict(self.extra),
         }
 
@@ -111,6 +119,7 @@ class RunManifest:
             timings={k: dict(v) for k, v in raw.get("timings", {}).items()},
             metrics=list(raw.get("metrics", [])),
             drives=list(raw.get("drives", [])),
+            artifacts=dict(raw.get("artifacts", {})),
             extra=dict(raw.get("extra", {})),
         )
 
@@ -145,6 +154,7 @@ class RunManifest:
                 {k: v for k, v in row.items() if k != "duration_s"}
                 for row in self.drives
             ],
+            "artifacts": dict(self.artifacts),
             "extra": {
                 k: v
                 for k, v in self.extra.items()
@@ -157,28 +167,19 @@ class RunManifest:
         return json.dumps(self.deterministic_dict(), sort_keys=True).encode()
 
     def save_json(self, path: str | os.PathLike[str]) -> None:
-        """Atomically persist the manifest with an embedded content
-        digest (verified by :meth:`load_json`)."""
+        """Durably persist the manifest with an embedded content digest
+        (verified by :meth:`load_json`) through the atomic commit
+        protocol of :mod:`repro.store.commit`."""
         from repro.resilience.integrity import embed_digest
+        from repro.store.commit import atomic_write_json
 
-        tmp_path = f"{os.fspath(path)}.tmp"
-        try:
-            with open(tmp_path, "w") as handle:
-                json.dump(
-                    embed_digest(self.to_dict()),
-                    handle,
-                    indent=2,
-                    sort_keys=True,
-                )
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(
+            path,
+            embed_digest(self.to_dict()),
+            indent=2,
+            sort_keys=True,
+            boundary="run_manifest",
+        )
 
     @classmethod
     def load_json(cls, path: str | os.PathLike[str]) -> "RunManifest":

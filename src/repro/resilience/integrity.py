@@ -52,9 +52,22 @@ def quarantine(path: str | os.PathLike) -> str:
 
     The original name is freed so the run can write a fresh artifact,
     while the damaged bytes are preserved for salvage and post-mortem.
+    When an artifact corrupts repeatedly, earlier evidence is never
+    clobbered: occupied names step to ``<path>.corrupt.1``,
+    ``<path>.corrupt.2``, … (deterministic: lowest free suffix wins).
+    The rename is made durable with a directory fsync, like every other
+    artifact mutation (see :mod:`repro.store.commit`).
     """
-    target = f"{os.fspath(path)}.corrupt"
+    from repro.store.commit import fsync_dir
+
+    base = f"{os.fspath(path)}.corrupt"
+    target = base
+    suffix = 0
+    while os.path.exists(target):
+        suffix += 1
+        target = f"{base}.{suffix}"
     os.replace(path, target)
+    fsync_dir(os.path.dirname(os.path.abspath(target)))
     return target
 
 

@@ -91,6 +91,7 @@ def _worker_main(
     observe: bool,
     heartbeat,
     heartbeat_interval_s: float,
+    store_root=None,
 ) -> None:
     """Worker loop: rebuild the world, then run drives until sentinel.
 
@@ -107,6 +108,13 @@ def _worker_main(
     from repro.core.campaign import Campaign, DriveFailure
 
     campaign = Campaign(config, recorder=NULL_RECORDER)
+    if store_root is not None:
+        # Stream drive records to write-ahead shards (see
+        # repro.core.parallel_campaign._init_worker: a durability
+        # optimization the committing parent independently verifies).
+        from repro.store import ShardStore
+
+        campaign._shard_store = ShardStore(store_root, config.fingerprint())
     routes = campaign._routes()
 
     stop = threading.Event()
@@ -193,7 +201,6 @@ def run_drives_supervised(
     :class:`~repro.resilience.signals.ShutdownFlag`; when it trips the
     pool raises :class:`CampaignAborted` after the last checkpoint.
     """
-    from repro.core.campaign import _write_checkpoint
     from repro.core.parallel_campaign import merge_drive_results
 
     cfg = campaign.config
@@ -201,6 +208,7 @@ def run_drives_supervised(
     policy = res.retry
     obs = campaign.obs
     events = campaign._resilience
+    store = campaign._shard_store
 
     pending = [d for d in range(len(routes)) if d not in drive_payloads]
     if not pending:
@@ -228,6 +236,7 @@ def run_drives_supervised(
                 obs.enabled,
                 heartbeat,
                 res.heartbeat_interval_s,
+                store.root if store is not None else None,
             ),
             daemon=True,
         )
@@ -274,8 +283,7 @@ def run_drives_supervised(
                 result["payload"]["metrics"] = result["metrics"]
             drive_payloads[drive_id] = result["payload"]
             if checkpoint_path is not None:
-                with obs.span("campaign.checkpoint"):
-                    _write_checkpoint(checkpoint_path, fingerprint, drive_payloads)
+                campaign._commit_progress(drive_payloads)
 
     def requeue_or_fail(
         drive_id: int, attempt: int, failure: dict, transient: bool

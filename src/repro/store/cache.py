@@ -1,0 +1,80 @@
+"""Content-addressed drive cache: computed once, reused across runs.
+
+A drive's payload is a pure function of ``(config, drive_id)`` — the
+invariant the whole execution stack is built on — so its result can be
+cached under a key derived from exactly those two things::
+
+    <cache_dir>/<config.fingerprint()>/drive-00042.jsonl
+
+Each entry is a standard digest-chained shard (:mod:`repro.store.shard`)
+whose ``end`` metadata also carries the drive's metric snapshot, written
+through the atomic commit protocol.  Reads are strictly verified: an
+entry that fails its chain is **quarantined and recomputed, never
+silently served** — the cache can only ever save work, not corrupt a
+dataset.  Re-running an unchanged campaign recomputes zero drives;
+changing the config changes the fingerprint, which simply addresses a
+different (initially empty) directory, so only changed work is paid for.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.resilience.integrity import quarantine
+from repro.store.artifacts import shard_name
+from repro.store.commit import atomic_write_bytes
+from repro.store.shard import ShardCorruptError, build_shard_bytes, read_shard
+
+
+class DriveCache:
+    """Payload cache keyed by ``(fingerprint, drive_id)``."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = os.fspath(root)
+
+    def entry_path(self, fingerprint: str, drive_id: int) -> str:
+        return os.path.join(self.root, fingerprint, shard_name(drive_id))
+
+    def get(
+        self, fingerprint: str, drive_id: int
+    ) -> tuple[dict[str, Any] | None, str | None]:
+        """``(raw_payload, quarantined_path)`` for one cache lookup.
+
+        A miss is ``(None, None)``; a hit returns the JSON-level payload
+        (records as dicts, ``metrics`` restored from the entry's end
+        metadata); a corrupt entry is moved aside and reported as
+        ``(None, <quarantine path>)`` so the caller recomputes.
+        """
+        path = self.entry_path(fingerprint, drive_id)
+        if not os.path.exists(path):
+            return None, None
+        try:
+            data = read_shard(path, fingerprint=fingerprint, drive_id=drive_id)
+        except (ShardCorruptError, ValueError):
+            # ValueError covers an entry whose header names a different
+            # fingerprint than the directory it sits in — for a
+            # content-addressed cache that is tampering, not operator
+            # error, and must never be served.
+            return None, quarantine(path)
+        payload = dict(data.meta)
+        payload["records"] = data.records
+        return payload, None
+
+    def put(
+        self,
+        fingerprint: str,
+        drive_id: int,
+        records: list[dict],
+        meta: dict[str, Any],
+    ) -> None:
+        """Atomically store one drive's payload.
+
+        ``meta`` is the payload minus records (the drive's metric
+        snapshot included, so a cache hit restores observability state
+        exactly as a checkpoint resume would).
+        """
+        path = self.entry_path(fingerprint, drive_id)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        data, _ = build_shard_bytes(fingerprint, drive_id, records, meta)
+        atomic_write_bytes(path, data, boundary="cache")

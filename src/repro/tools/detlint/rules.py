@@ -1,4 +1,4 @@
-"""The detlint rule set: DET001–DET005 and INV101.
+"""The detlint rule set: DET001–DET006 and INV101.
 
 Each rule enforces one determinism or observability invariant that the
 keystone byte-identity tests (``tests/test_parallel_campaign.py``,
@@ -379,6 +379,84 @@ def det005(ctx: FileContext) -> Iterable[Finding]:
                 ):
                     findings.append(ctx.finding(
                         node, "DET005", msg.format(field=name_arg.value)))
+    return findings
+
+
+# -- DET006: durable JSON writes go through the commit protocol ----------
+
+#: The artifact layer that owns crash-proof writes; the only package
+#: allowed to open files and serialize JSON into them directly.
+STORE_PACKAGE = "repro.store"
+
+
+def _open_write_call(node: ast.expr) -> bool:
+    """True for ``open(..., "w")``-style writable opens."""
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "open"
+    ):
+        return False
+    mode = None
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+        mode = node.args[1].value
+    for keyword in node.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+            mode = keyword.value.value
+    return isinstance(mode, str) and any(c in mode for c in "wa+")
+
+
+@rule("DET006", "no bare open()+json.dump writes outside repro.store")
+def det006(ctx: FileContext) -> Iterable[Finding]:
+    if _in_packages(ctx.module, (STORE_PACKAGE,)):
+        return []
+    json_aliases = _module_aliases(ctx.tree, "json")
+    dump_names = {
+        alias.asname or alias.name
+        for node in _walk(ctx.tree)
+        if isinstance(node, ast.ImportFrom) and node.module == "json"
+        for alias in node.names
+        if alias.name == "dump"
+    }
+
+    def is_json_dump(call: ast.Call) -> bool:
+        fn = call.func
+        if isinstance(fn, ast.Attribute) and fn.attr == "dump":
+            return _dotted(fn.value) in json_aliases
+        return isinstance(fn, ast.Name) and fn.id in dump_names
+
+    msg = (
+        "bare open()+json.dump leaves a torn-write window (no fsync, no "
+        "atomic rename — a crash mid-write corrupts the artifact in "
+        "place); write through repro.store.commit.atomic_write_json"
+    )
+    findings: list[Finding] = []
+    for node in _walk(ctx.tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            handles = {
+                item.optional_vars.id
+                for item in node.items
+                if _open_write_call(item.context_expr)
+                and isinstance(item.optional_vars, ast.Name)
+            }
+            if not handles:
+                continue
+            for inner in _walk(node):
+                if (
+                    isinstance(inner, ast.Call)
+                    and is_json_dump(inner)
+                    and len(inner.args) >= 2
+                    and isinstance(inner.args[1], ast.Name)
+                    and inner.args[1].id in handles
+                ):
+                    findings.append(ctx.finding(inner, "DET006", msg))
+        elif (
+            isinstance(node, ast.Call)
+            and is_json_dump(node)
+            and len(node.args) >= 2
+            and _open_write_call(node.args[1])
+        ):
+            findings.append(ctx.finding(node, "DET006", msg))
     return findings
 
 

@@ -1,0 +1,12 @@
+# detlint-module: repro.experiments.fixture_det006
+"""Fixture: bare open()+json.dump JSON writes (DET006)."""
+import json
+
+
+def save(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)  # line 8: torn-write window
+
+
+def save_direct(path, payload):
+    json.dump(payload, open(path, "w"))  # line 12: same, inline

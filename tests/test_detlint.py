@@ -40,6 +40,7 @@ def codes_and_lines(findings: list[Finding]) -> set[tuple[str, int]]:
         ("det003_setorder.py", {("DET003", 6)}),
         ("det004_entropy.py", {("DET004", 6)}),
         ("det005_mutation.py", {("DET005", 6)}),
+        ("det006_barewrite.py", {("DET006", 8), ("DET006", 12)}),
         ("inv101_name.py", {("INV101", 6)}),
     ],
 )
@@ -144,6 +145,38 @@ def test_det003_allows_sorted_set(tmp_path):
     assert run_paths([str(path)]) == []
 
 
+def test_det006_exempts_store_writers(tmp_path):
+    # repro.store owns the commit protocol; its own primitives may open
+    # and write directly — everywhere else must go through them.
+    body = (
+        "import json\n\n\n"
+        "def save(path, payload):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        json.dump(payload, handle)\n"
+    )
+    inside = tmp_path / "inside.py"
+    inside.write_text("# detlint-module: repro.store.commit\n" + body)
+    outside = tmp_path / "outside.py"
+    outside.write_text("# detlint-module: repro.core.campaign\n" + body)
+    assert run_paths([str(inside)]) == []
+    assert {f.code for f in run_paths([str(outside)])} == {"DET006"}
+
+
+def test_det006_ignores_reads_and_non_json_writes(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "# detlint-module: repro.core.mod\n"
+        "import json\n\n\n"
+        "def load(path):\n"
+        "    with open(path) as handle:\n"
+        "        return json.load(handle)\n\n\n"
+        "def export(path, rows):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        handle.write('\\n'.join(rows))\n"
+    )
+    assert run_paths([str(path)]) == []
+
+
 def test_det005_ignores_non_fingerprint_fields(tmp_path):
     # workers/resilience are execution knobs, deliberately outside the
     # fingerprint — mutating them (repro.experiments.common does) is fine.
@@ -234,7 +267,7 @@ def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for code in ("DET001", "DET002", "DET003", "DET004", "DET005",
-                 "INV101", "SUP001"):
+                 "DET006", "INV101", "SUP001"):
         assert code in out
 
 

@@ -158,6 +158,22 @@ def test_quarantine_moves_file_aside(tmp_path):
     assert (tmp_path / "ckpt.json.corrupt").read_text() == "{broken"
 
 
+def test_quarantine_never_clobbers_earlier_evidence(tmp_path):
+    victim = tmp_path / "ckpt.json"
+    targets = []
+    for generation in range(3):
+        victim.write_text(f"{{broken-{generation}")
+        targets.append(quarantine(victim))
+    assert targets == [
+        f"{victim}.corrupt",
+        f"{victim}.corrupt.1",
+        f"{victim}.corrupt.2",
+    ]
+    # Every quarantined generation survives, none overwritten.
+    for generation, target in enumerate(targets):
+        assert open(target).read() == f"{{broken-{generation}"
+
+
 def test_salvage_recovers_only_digest_valid_drives(tmp_path):
     good = embed_digest({"records": [{"r": 1}], "trace_minutes": 1.0})
     tampered = embed_digest({"records": [{"r": 2}], "trace_minutes": 2.0})
@@ -221,7 +237,7 @@ def test_write_checkpoint_failure_leaves_no_tmp_and_keeps_previous(
     def explode(fd):
         raise OSError(28, "No space left on device")
 
-    monkeypatch.setattr("repro.core.campaign.os.fsync", explode)
+    monkeypatch.setattr("repro.store.commit.os.fsync", explode)
     with pytest.raises(OSError):
         _write_checkpoint(path, "fp", _dummy_payloads())
     assert path.read_bytes() == before  # previous checkpoint intact
