@@ -1,0 +1,86 @@
+"""CI bench gate: a fresh fast-path measurement vs. the committed baseline.
+
+Usage::
+
+    python benchmarks/check_fastpath_gate.py FRESH.json \
+        --baseline BENCH_fastpath.json [--max-regression 0.20]
+
+CI runners are slower (and noisier) than the machine the committed
+``BENCH_fastpath.json`` was recorded on, so absolute wall times cannot
+be gated across hardware.  The gate therefore checks two
+hardware-portable facts:
+
+1. the *committed* artifact proves the acceptance speedup — its
+   ``speedup_vs_baseline`` meets its own ``min_speedup_vs_baseline``
+   (>= 10x vs. the ``BENCH_obs.json`` ``medium_dataset`` wall); and
+2. the *fresh* fast-vs-reference ratio (both sides measured in the same
+   run, on the same machine) has not regressed more than
+   ``--max-regression`` (default 20%) below the committed ratio.
+
+Exit status 0 when both hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+
+def evaluate(
+    fresh: dict, committed: dict, max_regression: float = 0.20
+) -> list[str]:
+    """Gate failures (empty when the fresh measurement passes)."""
+    failures: list[str] = []
+    required = float(committed.get("min_speedup_vs_baseline", 10.0))
+    recorded = float(committed.get("speedup_vs_baseline", 0.0))
+    if recorded < required:
+        failures.append(
+            f"committed speedup_vs_baseline {recorded:.2f}x is below the "
+            f"required {required:.2f}x"
+        )
+    committed_ratio = float(committed.get("speedup_vs_reference", 0.0))
+    fresh_ratio = float(fresh.get("speedup_vs_reference", 0.0))
+    floor = committed_ratio * (1.0 - max_regression)
+    if fresh_ratio < floor:
+        failures.append(
+            f"fresh speedup_vs_reference {fresh_ratio:.2f}x regressed more "
+            f"than {max_regression:.0%} below the committed "
+            f"{committed_ratio:.2f}x (floor {floor:.2f}x)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly measured BENCH_fastpath.json")
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="committed BENCH_fastpath.json to gate against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional drop in speedup_vs_reference (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    with open(args.baseline) as handle:
+        committed = json.load(handle)
+    failures = evaluate(fresh, committed, args.max_regression)
+    if failures:
+        for failure in failures:
+            print(f"bench-gate: FAIL: {failure}")
+        return 1
+    print(
+        "bench-gate: ok "
+        f"(committed {committed.get('speedup_vs_baseline')}x vs baseline, "
+        f"fresh {fresh.get('speedup_vs_reference')}x vs reference)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Fast-path benchmark: the vectorized campaign vs. the committed baseline.
+
+Runs the ``medium`` campaign (the same workload the ``medium_dataset``
+fixture in ``BENCH_obs.json`` times) through the fast path ``REPEATS``
+times and through the reference path once, asserts every run produces
+the same dataset digest (the byte-identity contract at benchmark scale),
+and writes ``BENCH_fastpath.json`` at the repo root.
+
+Two speedups are recorded:
+
+* ``speedup_vs_baseline`` — best fast wall vs. the committed
+  ``BENCH_obs.json`` ``medium_dataset`` fixture wall.  This is the
+  acceptance number (must stay >= 10x) and is only meaningful on
+  hardware comparable to where the baseline was recorded.
+* ``speedup_vs_reference`` — best fast wall vs. the same-run reference
+  wall.  Hardware-independent; the CI bench gate
+  (``benchmarks/check_fastpath_gate.py``) regresses against it.
+
+The best-of-``REPEATS`` wall is used because minimum wall time is the
+standard load-noise-robust estimator for a deterministic workload.
+"""
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import replace
+
+from repro.core.campaign import Campaign
+from repro.core.dataset import record_to_dict
+from repro.experiments.common import config_for_scale
+
+#: Where the fast-path baseline lands (repo root, next to BENCH_obs.json).
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BENCH_PATH = os.path.join(_ROOT, "BENCH_fastpath.json")
+_OBS_PATH = os.path.join(_ROOT, "BENCH_obs.json")
+
+REPEATS = int(os.environ.get("REPRO_BENCH_FASTPATH_REPEATS", "3"))
+
+#: The acceptance bar: fast path at least this much faster than the
+#: committed medium_dataset fixture wall.
+MIN_SPEEDUP_VS_BASELINE = 10.0
+
+#: Enforce the acceptance bar in-process.  On by default (refreshing the
+#: committed artifact must prove the bar); the CI bench gate turns it
+#: off because its runners are not the baseline hardware — there the
+#: hardware-portable ratio checks in check_fastpath_gate.py decide.
+REQUIRE_BASELINE = os.environ.get("REPRO_BENCH_REQUIRE_BASELINE", "1") != "0"
+
+
+def _digest(dataset) -> str:
+    blob = json.dumps(
+        [record_to_dict(r) for r in dataset.records], sort_keys=True
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _baseline_wall_s() -> float:
+    with open(_OBS_PATH) as handle:
+        payload = json.load(handle)
+    for fixture in payload["fixtures"]:
+        if fixture["name"] == "medium_dataset":
+            return float(fixture["wall_s"])
+    raise AssertionError("BENCH_obs.json has no medium_dataset fixture")
+
+
+def test_fastpath_speedup_on_medium_campaign():
+    config = config_for_scale("medium", seed=0)
+    fast_walls = []
+    digests = set()
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        dataset = Campaign(config).run()
+        fast_walls.append(round(time.perf_counter() - started, 3))
+        digests.add(_digest(dataset))
+
+    started = time.perf_counter()
+    reference = Campaign(replace(config, fastpath=False)).run()
+    reference_wall = round(time.perf_counter() - started, 3)
+    digests.add(_digest(reference))
+    # Byte-identity at benchmark scale: every fast repeat and the
+    # reference run hash to one digest.
+    assert len(digests) == 1, digests
+
+    fast_wall = min(fast_walls)
+    baseline_wall = _baseline_wall_s()
+    speedup_vs_baseline = baseline_wall / fast_wall
+    speedup_vs_reference = reference_wall / fast_wall
+    if REQUIRE_BASELINE:
+        assert speedup_vs_baseline >= MIN_SPEEDUP_VS_BASELINE, (
+            f"fast path is {speedup_vs_baseline:.2f}x vs the committed "
+            f"medium_dataset baseline ({baseline_wall} s); the acceptance "
+            f"bar is {MIN_SPEEDUP_VS_BASELINE}x"
+        )
+
+    payload = {
+        "format": "repro.bench.fastpath",
+        "version": 1,
+        "config": 'config_for_scale("medium", seed=0)',
+        "cpu_count": os.cpu_count(),
+        "baseline": {
+            "source": "BENCH_obs.json",
+            "fixture": "medium_dataset",
+            "wall_s": baseline_wall,
+        },
+        "dataset_digest": digests.pop(),
+        "fast_walls_s": fast_walls,
+        "fast_wall_s": fast_wall,
+        "reference_wall_s": reference_wall,
+        "min_speedup_vs_baseline": MIN_SPEEDUP_VS_BASELINE,
+        "speedup_vs_baseline": round(speedup_vs_baseline, 3),
+        "speedup_vs_reference": round(speedup_vs_reference, 3),
+    }
+    with open(_BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\n=== fastpath (cpu_count={os.cpu_count()}) ===")
+    print(f"    fast walls: {fast_walls} s (best {fast_wall} s)")
+    print(f"    reference wall: {reference_wall} s")
+    print(f"    speedup vs committed baseline: {speedup_vs_baseline:.2f}x")
+    print(f"    speedup vs same-run reference: {speedup_vs_reference:.2f}x")

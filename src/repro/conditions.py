@@ -9,7 +9,10 @@ simulator — consumes this one type.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,74 @@ class LinkConditions:
             loss_rate=min(1.0, self.loss_rate + extra_loss),
             loss_burst=self.loss_burst if loss_burst is None else loss_burst,
         )
+
+
+@dataclass(frozen=True, eq=False)
+class ConditionsArray:
+    """A whole trace of link conditions as parallel numpy arrays.
+
+    Structure-of-arrays counterpart to ``list[LinkConditions]`` for the
+    vectorized fluid models (:mod:`repro.core.fastpath.fluid`): one
+    float64 array per field, aligned by second.  Conversion either way
+    is lossless — the arrays hold exactly the floats the samples hold.
+    """
+
+    time_s: np.ndarray
+    downlink_mbps: np.ndarray
+    uplink_mbps: np.ndarray
+    rtt_ms: np.ndarray
+    loss_rate: np.ndarray
+    loss_burst: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.time_s.shape
+        for name in ("downlink_mbps", "uplink_mbps", "rtt_ms", "loss_rate", "loss_burst"):
+            arr = getattr(self, name)
+            if arr.ndim != 1 or arr.shape != n:
+                raise ValueError(
+                    f"{name} must be 1-D of shape {n}, got {arr.shape}"
+                )
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[LinkConditions]) -> "ConditionsArray":
+        """Pack a per-second sample list into aligned arrays."""
+        return cls(
+            time_s=np.array([s.time_s for s in samples], dtype=float),
+            downlink_mbps=np.array([s.downlink_mbps for s in samples], dtype=float),
+            uplink_mbps=np.array([s.uplink_mbps for s in samples], dtype=float),
+            rtt_ms=np.array([s.rtt_ms for s in samples], dtype=float),
+            loss_rate=np.array([s.loss_rate for s in samples], dtype=float),
+            loss_burst=np.array([s.loss_burst for s in samples], dtype=float),
+        )
+
+    def __len__(self) -> int:
+        return int(self.time_s.size)
+
+    def __iter__(self) -> Iterator[LinkConditions]:
+        return iter(self.to_samples())
+
+    def __getitem__(self, i: int) -> LinkConditions:
+        return LinkConditions(
+            time_s=float(self.time_s[i]),
+            downlink_mbps=float(self.downlink_mbps[i]),
+            uplink_mbps=float(self.uplink_mbps[i]),
+            rtt_ms=float(self.rtt_ms[i]),
+            loss_rate=float(self.loss_rate[i]),
+            loss_burst=float(self.loss_burst[i]),
+        )
+
+    def capacity_mbps(self, downlink: bool) -> np.ndarray:
+        """Capacity array for the requested direction."""
+        return self.downlink_mbps if downlink else self.uplink_mbps
+
+    @property
+    def is_outage(self) -> np.ndarray:
+        """Boolean array: seconds where no data can flow either way."""
+        return (self.downlink_mbps <= 0.0) & (self.uplink_mbps <= 0.0)
+
+    def to_samples(self) -> list[LinkConditions]:
+        """Unpack back into per-second sample objects."""
+        return [self[i] for i in range(len(self))]
 
 
 def outage(time_s: float, rtt_ms: float = 1000.0, loss_burst: float = 1.0) -> LinkConditions:

@@ -172,6 +172,14 @@ class CampaignConfig:
     #: excluded from :meth:`fingerprint` because cached and recomputed
     #: payloads are byte-identical.
     cache_dir: str | None = None
+    #: Vectorized hot path (:mod:`repro.core.fastpath`): precomputed
+    #: mobility route tables and per-drive satellite geometry timelines
+    #: replace the per-sample recomputation.  Execution-only knob like
+    #: ``workers``: excluded from :meth:`fingerprint` because both paths
+    #: produce byte-identical datasets, checkpoints, and manifests
+    #: (``tests/test_fastpath_equivalence.py``); ``False`` runs the
+    #: legacy per-sample reference path.
+    fastpath: bool = True
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -222,6 +230,8 @@ class CampaignConfig:
             )
         if self.cache_dir is not None:
             self.cache_dir = os.fspath(self.cache_dir)
+        if not isinstance(self.fastpath, bool):
+            raise ValueError(f"fastpath must be a bool, got {self.fastpath!r}")
 
     @property
     def num_drives(self) -> int:
@@ -233,12 +243,13 @@ class CampaignConfig:
         """Stable content hash: guards checkpoint/config mismatches.
 
         Covers every knob that shapes the dataset; ``workers``,
-        ``resilience``, ``artifact_format``, and ``cache_dir`` are
-        deliberately excluded — they are execution knobs, so a
-        checkpoint written by a serial run resumes under any worker
-        count, retry/watchdog setting, artifact layout, or cache
-        configuration (and vice versa), and cached results address the
-        same key whatever execution shape produced them.
+        ``resilience``, ``artifact_format``, ``cache_dir``, and
+        ``fastpath`` are deliberately excluded — they are execution
+        knobs, so a checkpoint written by a serial run resumes under any
+        worker count, retry/watchdog setting, artifact layout, cache
+        configuration, or hot-path implementation (and vice versa), and
+        cached results address the same key whatever execution shape
+        produced them.
         """
         payload = {
             "seed": self.seed,
@@ -1057,18 +1068,34 @@ class Campaign:
         """
         cfg = self.config
         drive_rng = self.rng.fork(drive_id)
-        trace = VehicleTrace(route, drive_rng)
+        limit = (
+            int(cfg.max_drive_seconds) if cfg.max_drive_seconds is not None else None
+        )
+        # The mobility stream is private to the trace, so the fast path
+        # can stop driving at the sample cap instead of simulating the
+        # whole route and slicing; both yield the identical prefix.
+        trace = VehicleTrace(
+            route,
+            drive_rng,
+            fast=cfg.fastpath,
+            max_samples=limit if cfg.fastpath else None,
+        )
         samples = trace.samples
-        if cfg.max_drive_seconds is not None:
-            limit = int(cfg.max_drive_seconds)
+        if limit is not None:
             samples = samples[:limit]
         tracker = Tracker(self.classifier)
         area_counts = {area: 0 for area in AreaType}
-        for mob in samples:
-            record = tracker.observe(mob)
-            area_counts[record.area] += 1
+        if cfg.fastpath:
+            for record in tracker.observe_many(samples):
+                area_counts[record.area] += 1
+        else:
+            for mob in samples:
+                record = tracker.observe(mob)
+                area_counts[record.area] += 1
 
         channels = self._make_channels(drive_rng)
+        if cfg.fastpath:
+            self._attach_timelines(tracker, channels)
         injectors: list[FaultInjector] = []
         if cfg.fault_schedule:
             channels = {
@@ -1151,10 +1178,22 @@ class Campaign:
         return routes
 
     def _make_channels(self, drive_rng: RngStreams) -> dict[str, object]:
+        if self.config.fastpath:
+            # Bit-identical subclasses with scalarized inner loops; the
+            # legacy classes stay as the reference implementation.
+            from repro.core.fastpath.channels import (
+                CellularChannelFast as cellular_cls,
+            )
+            from repro.core.fastpath.channels import (
+                StarlinkChannelFast as starlink_cls,
+            )
+        else:
+            cellular_cls = CellularChannel
+            starlink_cls = StarlinkChannel
         channels: dict[str, object] = {}
         for plan_name in STARLINK_NETWORKS:
             plan = DishPlan(plan_name)
-            channels[plan_name] = StarlinkChannel(
+            channels[plan_name] = starlink_cls(
                 dish_for_plan(plan),
                 constellation=self.constellation,
                 gateways=self.gateways,
@@ -1163,10 +1202,44 @@ class Campaign:
                 recorder=self.obs,
             )
         for carrier_name in CELLULAR_NETWORKS:
-            channels[carrier_name] = CellularChannel(
+            channels[carrier_name] = cellular_cls(
                 carrier_by_short_name(carrier_name), drive_rng, recorder=self.obs
             )
         return channels
+
+    def _attach_timelines(self, tracker: Tracker, channels: dict[str, object]) -> None:
+        """Precompute the drive's satellite geometry for the fast path.
+
+        Collects exactly the seconds the test windows will sample (the
+        same slicing :meth:`_run_tests` performs), builds one
+        :class:`~repro.core.fastpath.GeometryTimeline` over them, and
+        attaches it to both Starlink channels — the geometry is shared;
+        every random draw stays per-channel in the legacy order.
+        """
+        from repro.core.fastpath import GeometryTimeline
+
+        cfg = self.config
+        metadata = tracker.records
+        window_starts = range(
+            0,
+            max(0, len(metadata) - int(cfg.test_duration_s)),
+            int(cfg.window_period_s),
+        )
+        sampled: dict[float, GeoPoint] = {}
+        for start in window_starts:
+            for meta in metadata[start : start + int(cfg.test_duration_s)]:
+                if meta.time_s not in sampled:
+                    sampled[meta.time_s] = GeoPoint(meta.lat_deg, meta.lon_deg)
+        if not sampled:
+            return
+        timeline = GeometryTimeline(
+            self.constellation,
+            self.gateways,
+            list(sampled.keys()),
+            list(sampled.values()),
+        )
+        for network in STARLINK_NETWORKS:
+            channels[network].attach_timeline(timeline)
 
     def _run_tests(
         self,
@@ -1182,6 +1255,12 @@ class Campaign:
         cfg = self.config
         records: list[TestRecord] = []
         metadata = tracker.records
+        if cfg.fastpath:
+            # Scalar-lane stepper, bit-identical to FluidTcp (same RNG
+            # stream consumption; see repro.core.fastpath.fluid).
+            from repro.core.fastpath.fluid import FluidTcpFast as fluid_cls
+        else:
+            fluid_cls = FluidTcp
         window_starts = range(
             0,
             max(0, len(metadata) - int(cfg.test_duration_s)),
@@ -1193,7 +1272,7 @@ class Campaign:
             per_network: dict[str, list[SecondSample]] = {n: [] for n in NETWORKS}
             retx: dict[str, float] = {}
             fluids = {
-                network: FluidTcp(
+                network: fluid_cls(
                     parallel=kind.parallel,
                     seed=cfg.seed * 7919 + test_id + i,
                 )
@@ -1204,15 +1283,29 @@ class Campaign:
             # Running per-network link-rate estimate the UDP sender's
             # offered load tracks (reset each window, like iPerf restarts).
             udp_rate_est: dict[str, float] = {}
-            for meta in window:
-                position = GeoPoint(meta.lat_deg, meta.lon_deg)
-                for network in NETWORKS:
-                    conditions = channels[network].sample(
-                        meta.time_s, position, meta.speed_kmh, meta.area
-                    )
-                    downlink = kind.direction == "dl"
-                    if kind.protocol == "udp":
-                        capacity = conditions.capacity_mbps(downlink)
+            downlink = kind.direction == "dl"
+            protocol = kind.protocol
+            # Bound methods hoisted out of the per-second loop (the
+            # network sampling order per second is unchanged); the
+            # protocol branch is hoisted with them, giving one tight
+            # loop per test kind instead of a per-second dispatch.
+            lanes = [
+                (n, channels[n].sample, per_network[n].append, fluids[n])
+                for n in NETWORKS
+            ]
+            if protocol == "udp":
+                for meta in window:
+                    position = GeoPoint(meta.lat_deg, meta.lon_deg)
+                    time_s = meta.time_s
+                    speed_kmh = meta.speed_kmh
+                    area = meta.area
+                    for network, sample_fn, append, _fluid in lanes:
+                        conditions = sample_fn(time_s, position, speed_kmh, area)
+                        capacity = (
+                            conditions.downlink_mbps
+                            if downlink
+                            else conditions.uplink_mbps
+                        )
                         # iPerf UDP overdrive model: the sender blasts a
                         # constant offered load ~20% above its EWMA
                         # estimate of the link rate; delivered goodput is
@@ -1230,27 +1323,66 @@ class Campaign:
                         throughput = min(offered, capacity) * (
                             1.0 - conditions.loss_rate
                         )
-                    elif kind.protocol == "tcp":
-                        throughput = fluids[network].step(
-                            conditions, downlink=downlink
+                        append(
+                            SecondSample(
+                                time_s=time_s,
+                                throughput_mbps=throughput,
+                                rtt_ms=conditions.rtt_ms,
+                                loss_rate=conditions.loss_rate,
+                                speed_kmh=speed_kmh,
+                                area=area,
+                                lat_deg=meta.lat_deg,
+                                lon_deg=meta.lon_deg,
+                            )
                         )
-                        capacity = conditions.capacity_mbps(downlink)
+            elif protocol == "tcp":
+                for meta in window:
+                    position = GeoPoint(meta.lat_deg, meta.lon_deg)
+                    time_s = meta.time_s
+                    speed_kmh = meta.speed_kmh
+                    area = meta.area
+                    for network, sample_fn, append, fluid in lanes:
+                        conditions = sample_fn(time_s, position, speed_kmh, area)
+                        throughput = fluid.step(conditions, downlink=downlink)
+                        capacity = (
+                            conditions.downlink_mbps
+                            if downlink
+                            else conditions.uplink_mbps
+                        )
                         loss_weighted[network] += capacity * conditions.loss_rate
                         capacity_sum[network] += capacity
-                    else:  # ping
-                        throughput = 0.0
-                    per_network[network].append(
-                        SecondSample(
-                            time_s=meta.time_s,
-                            throughput_mbps=throughput,
-                            rtt_ms=conditions.rtt_ms,
-                            loss_rate=conditions.loss_rate,
-                            speed_kmh=meta.speed_kmh,
-                            area=meta.area,
-                            lat_deg=meta.lat_deg,
-                            lon_deg=meta.lon_deg,
+                        append(
+                            SecondSample(
+                                time_s=time_s,
+                                throughput_mbps=throughput,
+                                rtt_ms=conditions.rtt_ms,
+                                loss_rate=conditions.loss_rate,
+                                speed_kmh=speed_kmh,
+                                area=area,
+                                lat_deg=meta.lat_deg,
+                                lon_deg=meta.lon_deg,
+                            )
                         )
-                    )
+            else:  # ping
+                for meta in window:
+                    position = GeoPoint(meta.lat_deg, meta.lon_deg)
+                    time_s = meta.time_s
+                    speed_kmh = meta.speed_kmh
+                    area = meta.area
+                    for _network, sample_fn, append, _fluid in lanes:
+                        conditions = sample_fn(time_s, position, speed_kmh, area)
+                        append(
+                            SecondSample(
+                                time_s=time_s,
+                                throughput_mbps=0.0,
+                                rtt_ms=conditions.rtt_ms,
+                                loss_rate=conditions.loss_rate,
+                                speed_kmh=speed_kmh,
+                                area=area,
+                                lat_deg=meta.lat_deg,
+                                lon_deg=meta.lon_deg,
+                            )
+                        )
             for network in NETWORKS:
                 if kind.protocol == "tcp":
                     retx[network] = loss_weighted[network] / max(

@@ -1,0 +1,39 @@
+"""Vectorized fast path for the campaign hot loop.
+
+The campaign's per-second Python loops — mobility trace generation,
+constellation visibility, bent-pipe RTT pricing, and fluid-model sampling
+— dominate campaign wall time (see ``docs/PERFORMANCE.md``).  This package
+precomputes the *deterministic* parts of those loops as numpy timelines
+once per drive and replays them as array lookups, while every random draw
+keeps its exact legacy call sequence.  The contract is byte-identity: for
+any config, the fast path produces bit-for-bit the same datasets,
+checkpoints, and deterministic manifests as the legacy per-sample path
+(``tests/test_fastpath_equivalence.py`` is the proof; the legacy path
+stays available behind ``CampaignConfig(fastpath=False)``).
+
+Layout:
+
+* :mod:`repro.core.fastpath.route` — FP-exact precomputed route lookup
+  (replaces the O(segments) haversine rescan per mobility step);
+* :mod:`repro.core.fastpath.timeline` — per-drive satellite visibility /
+  elevation / bent-pipe RTT timelines shared by both Starlink channels;
+* :mod:`repro.core.fastpath.fluid` — scalar-lane fluid TCP stepping and
+  whole-trace array sampling for the fluid transport models
+  (:class:`repro.conditions.ConditionsArray` in, series out).
+"""
+
+from repro.core.fastpath.fluid import (
+    FluidTcpFast,
+    fluid_tcp_series_fast,
+    fluid_udp_series_fast,
+)
+from repro.core.fastpath.route import RouteTable
+from repro.core.fastpath.timeline import GeometryTimeline
+
+__all__ = [
+    "FluidTcpFast",
+    "GeometryTimeline",
+    "RouteTable",
+    "fluid_tcp_series_fast",
+    "fluid_udp_series_fast",
+]

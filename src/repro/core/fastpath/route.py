@@ -1,0 +1,13 @@
+"""Re-export of :class:`repro.geo.route_table.RouteTable`.
+
+The route table lives in :mod:`repro.geo` so that
+:class:`repro.geo.mobility.VehicleTrace` can use it without importing
+``repro.core`` (which drags in scipy); the fast path re-exports it here
+as part of its public surface.
+"""
+
+from __future__ import annotations
+
+from repro.geo.route_table import RouteTable
+
+__all__ = ["RouteTable"]

@@ -1,0 +1,574 @@
+"""Per-drive satellite geometry timelines.
+
+The legacy Starlink channel recomputes, for every sampled second: all
+satellite positions, all 1,584 look angles, and the bent-pipe gateway
+geometry — twice over for the two dishes on the vehicle.  All of that is
+RNG-free and depends only on (constellation, time, vehicle position), so
+a drive can precompute it once as arrays and the channels replay lookups.
+
+Bit-exactness strategy (each step verified by
+``tests/test_fastpath_equivalence.py``):
+
+* the candidate *prefilter* is approximate and trig-free: satellite /
+  observer dot products come from the per-plane basis decomposition
+  (:meth:`repro.leo.constellation.Constellation.plane_frames`) and the
+  angle-sum identity, with a full degree of slack below the lowest mask
+  any dish can have (the Mobility dish's 15 deg floor) — slack that
+  dwarfs the ~1e-12 relative error of the reordered arithmetic;
+* *exact* positions are then computed only for the union of surviving
+  satellites via
+  :meth:`repro.leo.constellation.Constellation.positions_ecef_subset_many`,
+  bit-identical to slicing the full per-second result (elementwise
+  ufuncs and row-wise matmul/norm are shape-independent);
+* candidates are stored sorted by descending elevation, so a lookup
+  walks the sorted prefix and stops at the first candidate below the
+  dish mask.  ``np.argsort`` over *distinct* keys defines the same
+  total order on any subset, which is how the sorted-prefix walk
+  reproduces the legacy per-call ``argsort``; seconds with duplicated
+  elevations (never observed in practice) fall back to a literal
+  replay of the legacy filter;
+* gateway ground distances are computed with a vectorized haversine
+  whose only bitwise divergence from the exact scalar
+  :func:`repro.geo.coords.haversine_km` is ulp-level (``math.asin`` vs
+  ``np.arcsin``); they only feed *threshold* and *argmin* decisions, so
+  any pair within a generous boundary band of a decision is re-checked
+  with the exact scalar function.  The bent-pipe gateway scan uses the
+  same approximate-scan / exact-winner pattern per lookup.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+
+import numpy as np
+
+from repro.geo.classify import obstruction_elevation_mask_deg
+from repro.geo.coords import GeoPoint, geodetic_to_ecef_km, haversine_km
+from repro.leo.constellation import EARTH_ROTATION_RAD_S, Constellation
+from repro.leo.dish import DishModel
+from repro.leo.gateway import GatewayNetwork
+from repro.leo.visibility import VisibleSatellite
+from repro.units import EARTH_RADIUS_KM, SPEED_OF_LIGHT_KM_S
+
+#: Lowest elevation mask any dish/obstruction combination can produce
+#: (the Mobility dish's 15 deg field-of-view floor).
+FLOOR_DEG = 15.0
+
+#: Slack prefilter threshold: sine of one degree below the floor.  The
+#: prefilter uses approximate geometry (plane-basis dot products via the
+#: angle-sum identity), so it must over-select; a full degree of slack
+#: dwarfs the ~1e-12 relative error of reordered float arithmetic.
+_SIN_PREFILTER = math.sin(math.radians(FLOOR_DEG - 1.0))
+
+#: Time chunk for the batched geometry build, bounding peak memory
+#: (a chunk holds a handful of (CHUNK, num_sats) float64 scratch arrays).
+_CHUNK = 512
+
+#: Maximum gateway ground distance the bent-pipe path considers (km).
+_GW_REACH_KM = 1_500.0
+
+#: Boundary band for approximate-vs-exact adjudication (km or ms).  The
+#: vectorized haversine / gateway scans differ from the exact scalar
+#: arithmetic by reduction-order ulps (~1e-12 relative); any comparison
+#: decided by less than this generous margin is re-run exactly.
+_EXACT_BAND = 1e-6
+
+#: Per-constellation cache of float32-cast plane frames.  The prefilter
+#: is approximate with a full degree of slack, so it runs in float32
+#: (error ~1e-6 vs slack ~1.7e-2): half the memory traffic of the
+#: (chunk, num_satellites) scratch arrays.  One campaign builds one
+#: timeline per drive from the same constellation, so the cast (and the
+#: basis transpose) happens once per campaign, not once per drive.
+_FRAMES_F32: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+
+def _frames_f32(constellation: Constellation) -> list[dict]:
+    frames = _FRAMES_F32.get(constellation)
+    if frames is None:
+        frames = [
+            {
+                "radius_km": fr["radius_km"],
+                "mean_motion_rad_s": fr["mean_motion_rad_s"],
+                "cos_phase": np.asarray(fr["cos_phase"], dtype=np.float32),
+                "sin_phase": np.asarray(fr["sin_phase"], dtype=np.float32),
+                "p_T": np.asarray(fr["p_vec"], dtype=np.float32).T.copy(),
+                "q_T": np.asarray(fr["q_vec"], dtype=np.float32).T.copy(),
+            }
+            for fr in constellation.plane_frames()
+        ]
+        _FRAMES_F32[constellation] = frames
+    return frames
+
+
+class GeometryTimeline:
+    """Precomputed per-second satellite geometry for one drive.
+
+    Built from the sampled seconds of a drive (``times``) and the vehicle
+    position at each (``observers``).  Exposes exactly the two lookups
+    the Starlink channel needs: the legacy-identical visible-satellite
+    candidate list, and the legacy-identical bent-pipe space RTT.
+    """
+
+    def __init__(
+        self,
+        constellation: Constellation,
+        gateways: GatewayNetwork,
+        times: list[float],
+        observers: list[GeoPoint],
+    ):
+        if len(times) != len(observers):
+            raise ValueError(
+                f"times and observers must align, got {len(times)} != {len(observers)}"
+            )
+        self._index = {t: i for i, t in enumerate(times)}
+        n_t = len(times)
+        # Vectorized :func:`geodetic_to_ecef_km` / :func:`enu_basis` over
+        # every observer at once: the scalar versions are elementwise trig
+        # on float64, which the batched ufuncs reproduce bit-for-bit.
+        lat = np.radians(np.asarray([o.lat_deg for o in observers], dtype=float))
+        lon = np.radians(np.asarray([o.lon_deg for o in observers], dtype=float))
+        clat, slat = np.cos(lat), np.sin(lat)
+        clon, slon = np.cos(lon), np.sin(lon)
+        self._user_ecef = np.column_stack(
+            [
+                EARTH_RADIUS_KM * clat * clon,
+                EARTH_RADIUS_KM * clat * slon,
+                EARTH_RADIUS_KM * slat,
+            ]
+        )
+        bases = np.empty((n_t, 3, 3))
+        bases[:, 0, 0] = -slon
+        bases[:, 0, 1] = clon
+        bases[:, 0, 2] = 0.0
+        bases[:, 1, 0] = -slat * clon
+        bases[:, 1, 1] = -slat * slon
+        bases[:, 1, 2] = clat
+        bases[:, 2, 0] = clat * clon
+        bases[:, 2, 1] = clat * slon
+        bases[:, 2, 2] = slat
+
+        # -- candidate satellites per second (sorted by elevation) -------
+        # Plain Python lists per second: the per-sample lookups walk a
+        # short sorted prefix, which is faster scalar than re-dispatching
+        # numpy kernels on 40-element arrays every call.
+        self._cand_idx: list[list[int]] = [[] for _ in range(n_t)]
+        self._cand_elev: list[list[float]] = [[] for _ in range(n_t)]
+        self._cand_azim: list[list[float]] = [[] for _ in range(n_t)]
+        self._cand_range: list[list[float]] = [[] for _ in range(n_t)]
+        self._cand_pos: list[np.ndarray] = [
+            np.zeros((0, 3)) for _ in range(n_t)
+        ]
+        self._cand_row: list[dict[int, int]] = [{} for _ in range(n_t)]
+        self._has_ties = np.zeros(n_t, dtype=bool)
+        self._vs_cache: dict[tuple[int, int], VisibleSatellite] = {}
+        times_arr = np.asarray(times, dtype=float)
+        frames = _frames_f32(constellation)
+        for lo in range(0, n_t, _CHUNK):
+            hi = min(lo + _CHUNK, n_t)
+            self._build_chunk(
+                constellation, frames, times_arr, bases, lo, hi
+            )
+
+        # -- gateway geometry per second ---------------------------------
+        self._gw = gateways
+        gw_list = gateways.gateways
+        self._gw_ecef = [geodetic_to_ecef_km(g.location) for g in gw_list]
+        self._gw_pos = (
+            np.asarray(self._gw_ecef) if gw_list else np.zeros((0, 3))
+        )
+        self._backhaul_list = [g.backhaul_ms for g in gw_list]
+        self._backhaul_arr = np.asarray(self._backhaul_list, dtype=float)
+        n_g = len(gw_list)
+        if n_g:
+            # Vectorized haversine (same formula as the exact scalar
+            # one); only threshold / argmin decisions use it, and any
+            # pair within the boundary band is adjudicated exactly.
+            lat1 = np.radians(np.asarray([o.lat_deg for o in observers]))
+            lon1 = np.radians(np.asarray([o.lon_deg for o in observers]))
+            lat2 = np.radians(np.asarray([g.location.lat_deg for g in gw_list]))
+            lon2 = np.radians(np.asarray([g.location.lon_deg for g in gw_list]))
+            dlat = lat2[None, :] - lat1[:, None]
+            dlon = lon2[None, :] - lon1[:, None]
+            h = (
+                np.sin(dlat / 2.0) ** 2
+                + np.cos(lat1)[:, None] * np.cos(lat2)[None, :]
+                * np.sin(dlon / 2.0) ** 2
+            )
+            ground = (
+                2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(h)))
+            )
+            reach_mask = ground <= _GW_REACH_KM
+            for i, j in zip(*np.nonzero(np.abs(ground - _GW_REACH_KM) <= _EXACT_BAND)):
+                reach_mask[i, j] = (
+                    haversine_km(observers[i], gw_list[j].location)
+                    <= _GW_REACH_KM
+                )
+            self._reach = [np.nonzero(reach_mask[i])[0] for i in range(n_t)]
+            # First index achieving the minimum — same gateway the legacy
+            # strict-< scan in ``GatewayNetwork.nearest`` picks; rows with
+            # a near-tie are re-scanned with exact scalar distances.
+            nearest = np.argmin(ground, axis=1)
+            rowmin = ground[np.arange(n_t), nearest]
+            for i in range(n_t):
+                cand = np.nonzero(ground[i] <= rowmin[i] + _EXACT_BAND)[0]
+                if cand.size > 1:
+                    exact = [
+                        haversine_km(observers[i], gw_list[j].location)
+                        for j in cand
+                    ]
+                    nearest[i] = cand[int(np.argmin(exact))]
+            self._nearest_idx = nearest
+        else:
+            self._reach = [np.zeros(0, dtype=np.intp) for _ in range(n_t)]
+            self._nearest_idx = np.zeros(n_t, dtype=np.int64)
+        self._rtt_cache: dict[tuple[int, int], float] = {}
+        if n_g:
+            self._precompute_top_rtts()
+
+    def _precompute_top_rtts(self) -> None:
+        """Warm the RTT cache for every second's top two candidates.
+
+        The serving satellite is either the highest-elevation candidate
+        or — thanks to the handover process's within-slot hysteresis — a
+        recently-best one still near the top, so warming the first two
+        ranks absorbs nearly every :meth:`bent_pipe_rtt_ms` lookup.
+        Same approximate-scan / exact-winner scheme as the lazy path —
+        the cached values are bit-identical to the legacy per-call
+        arithmetic.
+        """
+        n_t = len(self._cand_idx)
+        cache = self._rtt_cache
+        for rank in (0, 1):
+            top_t = [t for t in range(n_t) if len(self._cand_idx[t]) > rank]
+            if not top_t:
+                continue
+            sat = np.array([self._cand_pos[t][rank] for t in top_t])
+            diff = sat - self._user_ecef[top_t]
+            up_a = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            d = sat[:, None, :] - self._gw_pos[None, :, :]
+            down_a = np.sqrt(np.einsum("tgj,tgj->tg", d, d))
+            vals = 2.0 * (
+                (up_a[:, None] + down_a) / SPEED_OF_LIGHT_KM_S * 1000.0
+                + self._backhaul_arr[None, :]
+            )
+            for k, t in enumerate(top_t):
+                reach = self._reach[t]
+                if reach.size:
+                    sel = vals[k][reach]
+                    cand = reach[sel <= sel.min() + _EXACT_BAND].tolist()
+                else:
+                    cand = [int(self._nearest_idx[t])]
+                sat_t = self._cand_pos[t][rank]
+                du = sat_t - self._user_ecef[t]
+                up_km = math.sqrt(np.dot(du, du))
+                best_ms = float("inf")
+                for j in cand:
+                    dg = sat_t - self._gw_ecef[j]
+                    down_km = math.sqrt(np.dot(dg, dg))
+                    one_way_ms = (
+                        (up_km + down_km) / SPEED_OF_LIGHT_KM_S * 1000.0
+                        + self._backhaul_list[j]
+                    )
+                    best_ms = min(best_ms, 2.0 * one_way_ms)
+                cache[(t, self._cand_idx[t][rank])] = best_ms
+
+    def _build_chunk(
+        self,
+        constellation: Constellation,
+        frames: list[dict],
+        times_arr: np.ndarray,
+        bases: np.ndarray,
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Prefilter + exact geometry for timeline rows [lo, hi)."""
+        times = times_arr[lo:hi]
+        user = self._user_ecef[lo:hi]
+        up = bases[lo:hi, 2, :]
+        # Observer vectors rotated into the inertial frame (the inverse
+        # of the constellation's inertial->ECEF rotation).  Everything
+        # below is float32: the prefilter over-selects by a full degree
+        # of slack, which dwarfs single-precision error.
+        theta = EARTH_ROTATION_RAD_S * times
+        ct, st = np.cos(theta), np.sin(theta)
+        up_i = np.column_stack(
+            [up[:, 0] * ct - up[:, 1] * st, up[:, 0] * st + up[:, 1] * ct, up[:, 2]]
+        ).astype(np.float32)
+        obs_i = np.column_stack(
+            [
+                user[:, 0] * ct - user[:, 1] * st,
+                user[:, 0] * st + user[:, 1] * ct,
+                user[:, 2],
+            ]
+        ).astype(np.float32)
+        obs_dot_up = np.einsum("td,td->t", user, up).astype(np.float32)[:, None]
+        obs_norm2 = np.einsum("td,td->t", user, user)
+
+        keep = np.zeros((hi - lo, constellation.num_satellites), dtype=bool)
+        base = 0
+        for fr in frames:
+            r = float(fr["radius_km"])
+            mm = float(fr["mean_motion_rad_s"])
+            cph, sph = fr["cos_phase"], fr["sin_phase"]
+            n = cph.size
+            mt = mm * times
+            # cos/sin(phase0 + mm*t) via the angle-sum identity: exact in
+            # real arithmetic, ~1e-6 off in float32 — prefilter only.
+            cmt = np.cos(mt).astype(np.float32)[:, None]
+            smt = np.sin(mt).astype(np.float32)[:, None]
+            cosarg = cmt * cph - smt * sph
+            sinarg = smt * cph + cmt * sph
+            # sat . v for ECEF vectors v, via the per-satellite in-plane
+            # basis: sat_inertial = r * (cos(arg) p + sin(arg) q).
+            pu = up_i @ fr["p_T"]
+            qu = up_i @ fr["q_T"]
+            po = obs_i @ fr["p_T"]
+            qo = obs_i @ fr["q_T"]
+            z_enu = r * (cosarg * pu + sinarg * qu) - obs_dot_up
+            rel2 = (
+                (r * r + obs_norm2).astype(np.float32)[:, None]
+                - (2.0 * r) * (cosarg * po + sinarg * qo)
+            )
+            keep[:, base : base + n] = z_enu >= _SIN_PREFILTER * np.sqrt(rel2)
+            base += n
+
+        union = np.nonzero(keep.any(axis=0))[0]
+        sat_u = constellation.positions_ecef_subset_many(times, union)
+        keep_u = keep[:, union]
+        nt = hi - lo
+        # Exact legacy arithmetic on the surviving rows only — flattened
+        # across the chunk.  Elementwise ufuncs and row-local norms are
+        # shape-independent, so the flat pass produces identical bits to
+        # the per-second evaluation; only the ENU rotation stays
+        # per-second (batched BLAS matmul reduces in a different order
+        # than the legacy (K, 3) @ (3, 3) call and drifts by an ulp).
+        t_rel, cols = np.nonzero(keep_u)
+        sat_flat = sat_u[keep_u]  # (K, 3) rows in (second, satellite) order
+        counts = np.bincount(t_rel, minlength=nt)
+        offsets = np.zeros(nt + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+        rel_flat = sat_flat - np.repeat(self._user_ecef[lo:hi], counts, axis=0)
+        enu_flat = np.empty_like(rel_flat)
+        for trel in range(nt):
+            o0, o1 = offsets[trel], offsets[trel + 1]
+            if o0 != o1:
+                enu_flat[o0:o1] = rel_flat[o0:o1] @ bases[lo + trel].T
+        rng_flat = np.linalg.norm(enu_flat, axis=1)
+        with np.errstate(invalid="ignore"):
+            elev_flat = np.degrees(
+                np.arcsin(np.clip(enu_flat[:, 2] / rng_flat, -1.0, 1.0))
+            )
+        azim_flat = (
+            np.degrees(np.arctan2(enu_flat[:, 0], enu_flat[:, 1])) + 360.0
+        ) % 360.0
+
+        above = elev_flat >= FLOOR_DEG
+        t_sel = t_rel[above]
+        elev_sel = elev_flat[above]
+        # Stable sort by (second, descending elevation): with distinct
+        # elevations this is exactly the per-second ``argsort(-elev)``
+        # the legacy path performs — a total order does not depend on
+        # the sorting algorithm.  Duplicated elevations within a second
+        # (never observed) are flagged for the tied-second replay.
+        perm = np.lexsort((-elev_sel, t_sel))
+        t_sorted = t_sel[perm]
+        elev_sorted = elev_sel[perm]
+        idx_sorted = union[cols[above][perm]]
+        azim_sorted = azim_flat[above][perm]
+        range_sorted = rng_flat[above][perm]
+        pos_sorted = sat_flat[above][perm]
+        if elev_sorted.size > 1:
+            tie = (t_sorted[1:] == t_sorted[:-1]) & (
+                elev_sorted[1:] == elev_sorted[:-1]
+            )
+            for k in np.nonzero(tie)[0]:
+                self._has_ties[lo + int(t_sorted[k])] = True
+
+        a_off = np.zeros(nt + 1, dtype=np.intp)
+        np.cumsum(np.bincount(t_sel, minlength=nt), out=a_off[1:])
+        idx_list = idx_sorted.tolist()
+        elev_list = elev_sorted.tolist()
+        azim_list = azim_sorted.tolist()
+        range_list = range_sorted.tolist()
+        for trel in range(nt):
+            t = lo + trel
+            o0, o1 = int(a_off[trel]), int(a_off[trel + 1])
+            ids = idx_list[o0:o1]
+            self._cand_idx[t] = ids
+            self._cand_elev[t] = elev_list[o0:o1]
+            self._cand_azim[t] = azim_list[o0:o1]
+            self._cand_range[t] = range_list[o0:o1]
+            self._cand_pos[t] = pos_sorted[o0:o1]
+            self._cand_row[t] = dict(zip(ids, range(o1 - o0)))
+
+    # -- lookups ---------------------------------------------------------
+
+    def index_of(self, time_s: float) -> int | None:
+        """Timeline row for ``time_s``, or None if the second is unknown."""
+        return self._index.get(time_s)
+
+    def visible(
+        self,
+        t_idx: int,
+        dish: DishModel,
+        obstruction_fraction: float = 0.0,
+        blocked_sectors: list[tuple[float, float]] | None = None,
+        max_candidates: int = 8,
+    ) -> list[VisibleSatellite]:
+        """Replay of :meth:`repro.leo.visibility.VisibilityModel.visible_satellites`.
+
+        Walks the elevation-sorted candidate prefix, applying the same
+        mask and wedge predicates the legacy full-array path applies;
+        with distinct elevations the sorted-prefix walk emits exactly
+        the rows (and ordering) of the legacy per-call argsort.
+        """
+        if self._has_ties[t_idx]:
+            return self._visible_tied(
+                t_idx, dish, obstruction_fraction, blocked_sectors, max_candidates
+            )
+        # Inlined dish.effective_mask_deg(obstruction_elevation_mask_deg(f))
+        # — same expressions, association order, and max() semantics; the
+        # range validation is skipped because the obstruction process
+        # clamps its fraction to [0, 0.95].
+        mask = 70.0 * math.sin(obstruction_fraction * math.pi / 2.0) ** 1.5
+        min_elev = dish.min_elevation_deg
+        if mask < min_elev:
+            mask = min_elev
+        elev = self._cand_elev[t_idx]
+        azim = self._cand_azim[t_idx]
+        out: list[VisibleSatellite] = []
+        cache = self._vs_cache
+        for i, e in enumerate(elev):
+            if e < mask:
+                break  # sorted descending: nothing below can pass
+            if blocked_sectors and e < 60.0:
+                a = azim[i]
+                blocked = False
+                for start, end in blocked_sectors:
+                    # Scalar replay of visibility._azimuth_in_sector
+                    # (pure comparisons, no arithmetic to drift).
+                    if start <= end:
+                        if start <= a <= end:
+                            blocked = True
+                            break
+                    elif a >= start or a <= end:
+                        blocked = True
+                        break
+                if blocked:
+                    continue
+            key = (t_idx, i)
+            vs = cache.get(key)
+            if vs is None:
+                vs = VisibleSatellite(
+                    index=self._cand_idx[t_idx][i],
+                    elevation_deg=e,
+                    azimuth_deg=azim[i],
+                    slant_range_km=self._cand_range[t_idx][i],
+                )
+                cache[key] = vs
+            out.append(vs)
+            if len(out) >= max_candidates:
+                break
+        return out
+
+    def _visible_tied(
+        self,
+        t_idx: int,
+        dish: DishModel,
+        obstruction_fraction: float,
+        blocked_sectors: list[tuple[float, float]] | None,
+        max_candidates: int,
+    ) -> list[VisibleSatellite]:
+        """Literal legacy replay for seconds with duplicated elevations.
+
+        ``np.argsort``'s introsort is unstable, so when two candidates
+        share an elevation the subset sort the legacy path performs can
+        order them differently from the build-time full sort; replaying
+        the legacy filter on arrays keeps those (never-observed) seconds
+        bit-exact too.
+        """
+        from repro.leo.visibility import _azimuth_in_sector
+
+        elev = np.asarray(self._cand_elev[t_idx])
+        azim = np.asarray(self._cand_azim[t_idx])
+        mask = dish.effective_mask_deg(
+            obstruction_elevation_mask_deg(obstruction_fraction)
+        )
+        usable = elev >= mask
+        if blocked_sectors:
+            for start, end in blocked_sectors:
+                in_wedge = _azimuth_in_sector(azim, start, end)
+                usable &= ~(in_wedge & (elev < 60.0))
+        idx = np.nonzero(usable)[0]
+        if idx.size == 0:
+            return []
+        order = idx[np.argsort(-elev[idx])][:max_candidates]
+        return [
+            VisibleSatellite(
+                index=self._cand_idx[t_idx][i],
+                elevation_deg=float(elev[i]),
+                azimuth_deg=float(azim[i]),
+                slant_range_km=float(self._cand_range[t_idx][i]),
+            )
+            for i in order
+        ]
+
+    def bent_pipe_rtt_ms(
+        self, t_idx: int, sat_index: int, scheduling_ms: float = 0.0
+    ) -> float:
+        """Replay of :meth:`repro.leo.gateway.GatewayNetwork.bent_pipe_rtt_ms`.
+
+        Reuses the per-drive gateway ground distances and reachable-set
+        lists; the satellite position comes from the candidate table (the
+        serving satellite is always a current candidate when called).
+        The space segment is RNG-free, so the (second, satellite) result
+        is cached — the two dishes usually track the same satellite.
+        """
+        key = (t_idx, sat_index)
+        cached = self._rtt_cache.get(key)
+        if cached is not None:
+            return cached + scheduling_ms
+        row = self._cand_row[t_idx].get(sat_index)
+        if row is None:
+            raise KeyError(
+                f"satellite {sat_index} is not a candidate at timeline row {t_idx}"
+            )
+        sat = self._cand_pos[t_idx][row]
+        diff = sat - self._user_ecef[t_idx]
+        # sqrt(dot(x, x)) is bitwise what np.linalg.norm computes for a
+        # 1-D vector; the axis-batched norm reduces in a different order
+        # and drifts by an ulp.
+        up_km = math.sqrt(np.dot(diff, diff))
+        reach = self._reach[t_idx]
+        if reach.size:
+            # Approximate vectorized scan over the reachable gateways;
+            # the winner (and anything within the boundary band of it,
+            # i.e. physically sub-millimetre ties) is recomputed with
+            # the exact legacy scalar arithmetic.
+            d = self._gw_pos[reach] - sat
+            approx = 2.0 * (
+                (up_km + np.sqrt(np.einsum("ij,ij->i", d, d)))
+                / SPEED_OF_LIGHT_KM_S
+                * 1000.0
+                + self._backhaul_arr[reach]
+            )
+            best_ms = float("inf")
+            for j in reach[approx <= approx.min() + _EXACT_BAND].tolist():
+                dg = sat - self._gw_ecef[j]
+                down_km = math.sqrt(np.dot(dg, dg))
+                one_way_ms = (
+                    (up_km + down_km) / SPEED_OF_LIGHT_KM_S * 1000.0
+                    + self._backhaul_list[j]
+                )
+                best_ms = min(best_ms, 2.0 * one_way_ms)
+        else:
+            j = int(self._nearest_idx[t_idx])
+            gw = self._gw.gateways[j]
+            dg = sat - self._gw_ecef[j]
+            down_km = math.sqrt(np.dot(dg, dg))
+            best_ms = 2.0 * (
+                (up_km + down_km) / SPEED_OF_LIGHT_KM_S * 1000.0 + gw.backhaul_ms
+            )
+        self._rtt_cache[key] = best_ms
+        return best_ms + scheduling_ms

@@ -59,6 +59,22 @@ class AreaClassifier:
         place, dist_km = self.places.nearest_distance_km(point)
         return self.classify_distance(place, dist_km)
 
+    def classify_many(self, points: list[GeoPoint]) -> list[AreaType]:
+        """Batched :meth:`classify` (identical result per point).
+
+        One vectorized nearest-place query instead of one per point;
+        the thresholding stays scalar.
+        """
+        if not points:
+            return []
+        idx, dist = self.places.nearest_many(
+            [p.lat_deg for p in points], [p.lon_deg for p in points]
+        )
+        return [
+            self.classify_distance(self.places.places[int(i)], float(d))
+            for i, d in zip(idx, dist)
+        ]
+
     def classify_distance(self, place: Place, dist_km: float) -> AreaType:
         """Threshold an already-computed nearest-place distance."""
         scale = self.thresholds.scale(place.population)

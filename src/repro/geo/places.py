@@ -120,6 +120,30 @@ class PlaceDatabase:
         idx = int(np.argmin(dist))
         return self.places[idx], float(dist[idx])
 
+    def nearest_many(
+        self, lat_deg: np.ndarray, lon_deg: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`nearest_distance_km` over many points.
+
+        Row ``i`` holds exactly the (place index, distance) the scalar
+        method returns for point ``i``: every operation is an
+        elementwise ufunc or a per-row argmin, both of which are
+        independent of how many rows are evaluated at once.
+        """
+        lat1 = np.radians(np.asarray(lat_deg, dtype=float))[:, None]
+        lon1 = np.radians(np.asarray(lon_deg, dtype=float))[:, None]
+        lat2 = np.radians(self._locations[:, 0])[None, :]
+        lon2 = np.radians(self._locations[:, 1])[None, :]
+        dlat = lat2 - lat1
+        dlon = lon2 - lon1
+        h = (
+            np.sin(dlat / 2.0) ** 2
+            + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+        )
+        dist = 2.0 * 6371.0 * np.arcsin(np.minimum(1.0, np.sqrt(h)))
+        idx = np.argmin(dist, axis=1)
+        return idx, dist[np.arange(idx.size), idx]
+
     def cities(self) -> list[Place]:
         """All places large enough to have an urban core."""
         return [p for p in self.places if p.is_city]

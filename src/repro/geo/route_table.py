@@ -1,0 +1,109 @@
+"""FP-exact precomputed route lookup.
+
+``Route.position_at_km`` / ``segment_at_km`` rescan the segment list on
+every call, recomputing each segment's haversine length as they go —
+O(segments) trig per mobility step, which makes trace generation the
+single largest cost in a campaign.  :class:`RouteTable` computes each
+segment's length (with the same :func:`repro.geo.coords.haversine_km`)
+exactly once and replays the legacy scan over the cached lengths.
+
+Bit-exactness argument: the legacy scan evaluates the chain
+``r_0 = d; r_{i+1} = fl(r_i - L_i)`` and stops at the first ``i`` with
+``r_i <= L_i``, where each ``L_i`` is recomputed by ``haversine_km`` on
+every call.  ``haversine_km`` is a pure function of the endpoint
+coordinates, so caching ``L_i`` once per segment and re-running the same
+scalar subtraction chain yields bit-identical indices, remainders, and
+interpolation fractions.  The scan stays a scalar Python loop on
+purpose: per-call numpy dispatch overhead exceeds the cost of scanning
+the handful of segments in a route, and scalar float subtraction *is*
+the legacy arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint, haversine_km, initial_bearing_deg
+from repro.geo.routes import RoadSegment, Route
+
+
+class RouteTable:
+    """Precomputed per-segment arrays for one (immutable snapshot of a) route.
+
+    Build the table after the route is fully assembled; it snapshots the
+    segment list, so later mutations of ``route.segments`` are not seen.
+    """
+
+    def __init__(self, route: Route):
+        segments = list(route.segments)
+        self.route = route
+        self.segments = segments
+        # Python lists for the per-step scalar scan ...
+        self.length_list = [haversine_km(seg.start, seg.end) for seg in segments]
+        self.limit_list = [seg.speed_limit_kmh for seg in segments]
+        self.heading_list = [
+            initial_bearing_deg(seg.start, seg.end) for seg in segments
+        ]
+        self._start = [(seg.start.lat_deg, seg.start.lon_deg) for seg in segments]
+        self._end = [(seg.end.lat_deg, seg.end.lon_deg) for seg in segments]
+        # ... and numpy views for batched consumers (timelines, benches).
+        self.lengths = np.array(self.length_list)
+        self.limits = np.array(self.limit_list)
+        self.headings = np.array(self.heading_list)
+        # Legacy ``Route.length_km`` is ``sum(generator)``: a sequential
+        # left-to-right float accumulation starting from int 0.
+        total = 0
+        for length in self.length_list:
+            total = total + length
+        self.length_km = float(total)
+
+    # -- lookups ---------------------------------------------------------
+
+    def locate(self, dist_km: float) -> tuple[int, float]:
+        """(segment index, remaining km) exactly as the legacy scan.
+
+        Returns ``(-1, 0.0)`` when the distance runs past the last
+        segment (the legacy loop falls through to the route end).
+        """
+        if dist_km < 0:
+            raise ValueError(f"distance must be non-negative, got {dist_km}")
+        remaining = dist_km
+        for idx, length in enumerate(self.length_list):
+            if remaining <= length:
+                return idx, remaining
+            remaining -= length
+        return -1, 0.0
+
+    def segment_index_at_km(self, dist_km: float) -> int:
+        """Index equivalent of ``Route.segment_at_km`` (last on overrun)."""
+        idx, _ = self.locate(dist_km)
+        return len(self.segments) - 1 if idx < 0 else idx
+
+    def segment_at_km(self, dist_km: float) -> RoadSegment:
+        return self.segments[self.segment_index_at_km(dist_km)]
+
+    def position_at_km(self, dist_km: float) -> GeoPoint:
+        """Bit-identical replay of ``Route.position_at_km``."""
+        idx, remaining = self.locate(dist_km)
+        if idx < 0:
+            if not self.segments:
+                raise ValueError("route has no segments")
+            return self.segments[-1].end
+        length = self.length_list[idx]
+        frac = 0.0 if length == 0 else remaining / length
+        return self._interpolate(idx, frac)
+
+    def _interpolate(self, idx: int, fraction: float) -> GeoPoint:
+        """Bit-identical replay of :func:`repro.geo.coords.interpolate`."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        a_lat, a_lon = self._start[idx]
+        b_lat, b_lon = self._end[idx]
+        dlon = b_lon - a_lon
+        if dlon > 180.0:
+            dlon -= 360.0
+        elif dlon < -180.0:
+            dlon += 360.0
+        lon = a_lon + fraction * dlon
+        lon = (lon + 540.0) % 360.0 - 180.0
+        return GeoPoint(a_lat + fraction * (b_lat - a_lat), lon)

@@ -128,3 +128,109 @@ class Constellation:
             y_e = -x_i * sin_t + y_i * cos_t
             chunks.append(np.column_stack([x_e, y_e, z_i]))
         return np.vstack(chunks)
+
+    def positions_ecef_many(self, times_s: np.ndarray) -> np.ndarray:
+        """ECEF positions (T, N, 3) for a whole array of times at once.
+
+        Bit-identical to stacking :meth:`positions_ecef_km` per time: the
+        arithmetic below keeps the exact expression structure of the
+        scalar path (elementwise ufuncs are shape-independent, and
+        ``math.cos``/``math.sin`` agree bitwise with ``np.cos``/``np.sin``
+        on float64), it is just evaluated on (T, N) arrays.
+        """
+        times = np.asarray(times_s, dtype=float).reshape(-1)
+        chunks = []
+        for shell, (raan, phase0) in zip(self.shells, self._layouts, strict=True):
+            inc = math.radians(shell.inclination_deg)
+            r = shell.orbit_radius_km
+            arg = phase0[None, :] + (shell.mean_motion_rad_s * times)[:, None]
+            x_orb = r * np.cos(arg)
+            y_orb = r * np.sin(arg)
+            x_i = x_orb * np.cos(raan) - y_orb * np.cos(inc) * np.sin(raan)
+            y_i = x_orb * np.sin(raan) + y_orb * np.cos(inc) * np.cos(raan)
+            z_i = y_orb * np.sin(inc)
+            theta = EARTH_ROTATION_RAD_S * times
+            cos_t = np.cos(theta)[:, None]
+            sin_t = np.sin(theta)[:, None]
+            x_e = x_i * cos_t + y_i * sin_t
+            y_e = -x_i * sin_t + y_i * cos_t
+            chunks.append(np.stack([x_e, y_e, z_i], axis=-1))
+        return np.concatenate(chunks, axis=1)
+
+    def positions_ecef_subset_many(
+        self, times_s: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        """ECEF positions (T, K, 3) for a sorted subset of satellites.
+
+        Bit-identical to ``positions_ecef_many(times_s)[:, indices]`` —
+        every expression is elementwise, so evaluating it on a row subset
+        of the layout arrays yields the same bits as slicing the full
+        result.  ``indices`` must be sorted ascending (global satellite
+        indices across shells).
+        """
+        times = np.asarray(times_s, dtype=float).reshape(-1)
+        indices = np.asarray(indices, dtype=np.int64)
+        chunks = []
+        base = 0
+        for shell, (raan, phase0) in zip(self.shells, self._layouts, strict=True):
+            n = shell.num_satellites
+            sel = indices[(indices >= base) & (indices < base + n)] - base
+            base += n
+            if sel.size == 0:
+                continue
+            inc = math.radians(shell.inclination_deg)
+            r = shell.orbit_radius_km
+            arg = phase0[None, sel] + (shell.mean_motion_rad_s * times)[:, None]
+            x_orb = r * np.cos(arg)
+            y_orb = r * np.sin(arg)
+            raan_s = raan[sel]
+            x_i = x_orb * np.cos(raan_s) - y_orb * np.cos(inc) * np.sin(raan_s)
+            y_i = x_orb * np.sin(raan_s) + y_orb * np.cos(inc) * np.cos(raan_s)
+            z_i = y_orb * np.sin(inc)
+            theta = EARTH_ROTATION_RAD_S * times
+            cos_t = np.cos(theta)[:, None]
+            sin_t = np.sin(theta)[:, None]
+            x_e = x_i * cos_t + y_i * sin_t
+            y_e = -x_i * sin_t + y_i * cos_t
+            chunks.append(np.stack([x_e, y_e, z_i], axis=-1))
+        if not chunks:
+            return np.zeros((times.size, 0, 3))
+        return np.concatenate(chunks, axis=1)
+
+    def plane_frames(self) -> list[dict[str, np.ndarray | float]]:
+        """Per-shell in-plane basis data for approximate fast-path geometry.
+
+        A satellite's inertial position is ``r * (cos(arg) * p + sin(arg) * q)``
+        with ``arg = phase0 + mean_motion * t`` and the per-satellite basis
+        vectors ``p = (cos raan, sin raan, 0)``,
+        ``q = (-cos inc sin raan, cos inc cos raan, sin inc)``.  The fast
+        path uses this (plus the angle-sum identity for ``cos``/``sin`` of
+        ``arg``) to compute *approximate* dot products against observer
+        vectors without any per-(time, satellite) trig; the result is only
+        ever used behind a slack prefilter threshold, never for exact
+        outputs.
+        """
+        frames = []
+        for shell, (raan, phase0) in zip(self.shells, self._layouts, strict=True):
+            inc = math.radians(shell.inclination_deg)
+            p_vec = np.column_stack(
+                [np.cos(raan), np.sin(raan), np.zeros_like(raan)]
+            )
+            q_vec = np.column_stack(
+                [
+                    -math.cos(inc) * np.sin(raan),
+                    math.cos(inc) * np.cos(raan),
+                    np.full_like(raan, math.sin(inc)),
+                ]
+            )
+            frames.append(
+                {
+                    "radius_km": shell.orbit_radius_km,
+                    "mean_motion_rad_s": shell.mean_motion_rad_s,
+                    "cos_phase": np.cos(phase0),
+                    "sin_phase": np.sin(phase0),
+                    "p_vec": p_vec,
+                    "q_vec": q_vec,
+                }
+            )
+        return frames

@@ -1,4 +1,4 @@
-"""The detlint rule set: DET001–DET006 and INV101.
+"""The detlint rule set: DET001–DET007 and INV101.
 
 Each rule enforces one determinism or observability invariant that the
 keystone byte-identity tests (``tests/test_parallel_campaign.py``,
@@ -457,6 +457,90 @@ def det006(ctx: FileContext) -> Iterable[Finding]:
             and _open_write_call(node.args[1])
         ):
             findings.append(ctx.finding(node, "DET006", msg))
+    return findings
+
+
+# -- DET007: no per-sample loops over LinkConditions traces --------------
+
+#: Packages whose per-second hot paths must consume whole traces through
+#: :class:`repro.conditions.ConditionsArray` / the fastpath steppers.
+TRACE_PACKAGES = ("repro.core", "repro.leo")
+
+#: The fluid pair allowed to walk traces sample-by-sample: the scalar
+#: reference implementation and its bit-contract twin (TCP state is
+#: sequential, so the fast path also steps seconds one at a time).
+TRACE_REFERENCE_MODULES = ("repro.core.fluid", "repro.core.fastpath.fluid")
+
+#: Methods only :class:`~repro.conditions.LinkConditions` exposes; a call
+#: on a loop variable marks the loop as per-sample trace consumption.
+LINK_SAMPLE_METHODS = frozenset({"capacity_mbps"})
+
+
+@rule("DET007", "no per-sample loops over LinkConditions traces in hot packages")
+def det007(ctx: FileContext) -> Iterable[Finding]:
+    if not _in_packages(ctx.module, TRACE_PACKAGES):
+        return []
+    if ctx.module in TRACE_REFERENCE_MODULES:
+        return []
+    msg = (
+        "per-sample Python loop over a LinkConditions trace; batch the "
+        "trace through repro.conditions.ConditionsArray and the "
+        "repro.core.fastpath models (repro.core.fluid is the scalar "
+        "reference)"
+    )
+
+    def loop_names(target: ast.expr) -> set[str]:
+        if isinstance(target, ast.Name):
+            return {target.id}
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out: set[str] = set()
+            for elt in target.elts:
+                out |= loop_names(elt)
+            return out
+        return set()
+
+    def per_sample_call(names: set[str], bodies: list[ast.AST]) -> ast.AST | None:
+        """First call consuming a loop variable as a LinkConditions."""
+        for body in bodies:
+            for node in _walk(body):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                fn = node.func
+                if (
+                    fn.attr in LINK_SAMPLE_METHODS
+                    and isinstance(fn.value, ast.Name)
+                    and fn.value.id in names
+                ):
+                    return node
+                if (
+                    fn.attr == "step"
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in names
+                ):
+                    return node
+        return None
+
+    findings: list[Finding] = []
+    for node in _walk(ctx.tree):
+        hit: ast.AST | None = None
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            hit = per_sample_call(loop_names(node.target), list(node.body))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            names: set[str] = set()
+            for gen in node.generators:
+                names |= loop_names(gen.target)
+            hit = per_sample_call(names, [node.elt])
+        elif isinstance(node, ast.DictComp):
+            names = set()
+            for gen in node.generators:
+                names |= loop_names(gen.target)
+            hit = per_sample_call(names, [node.key, node.value])
+        if hit is not None:
+            findings.append(ctx.finding(hit, "DET007", msg))
     return findings
 
 

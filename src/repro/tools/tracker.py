@@ -47,6 +47,27 @@ class Tracker:
         self.records.append(record)
         return record
 
+    def observe_many(self, samples: list[MobilitySample]) -> list[TrackerRecord]:
+        """Batched :meth:`observe`: one vectorized area classification.
+
+        The classifier is RNG-free, so this logs exactly the records a
+        per-sample loop would; used by the campaign fast path.
+        """
+        areas = self.classifier.classify_many([s.position for s in samples])
+        out: list[TrackerRecord] = []
+        for sample, area in zip(samples, areas):
+            record = TrackerRecord(
+                time_s=sample.time_s,
+                lat_deg=sample.position.lat_deg,
+                lon_deg=sample.position.lon_deg,
+                speed_kmh=sample.speed_kmh,
+                area=area,
+                route_km=sample.route_km,
+            )
+            self.records.append(record)
+            out.append(record)
+        return out
+
     @property
     def duration_minutes(self) -> float:
         """Total logged time in minutes (the paper's '9,083 minutes')."""

@@ -1,0 +1,10 @@
+# detlint-module: repro.core.summary
+"""Fixture: per-sample loops over a LinkConditions trace (DET007)."""
+
+
+def mean_goodput(samples, model):
+    total = 0.0
+    for sample in samples:
+        total += sample.capacity_mbps(True)
+    series = [model.step(sample) for sample in samples]
+    return total, series

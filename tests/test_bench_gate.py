@@ -1,0 +1,89 @@
+"""The fast-path CI bench gate (benchmarks/check_fastpath_gate.py).
+
+The gate is hardware-portable by construction: it never compares wall
+times across machines, only (a) the committed artifact's recorded
+speedup against its own acceptance bar and (b) the same-run
+fast-vs-reference ratio against the committed ratio with a bounded
+regression allowance.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "check_fastpath_gate",
+    REPO_ROOT / "benchmarks" / "check_fastpath_gate.py",
+)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _payload(vs_baseline=13.0, vs_reference=6.0, minimum=10.0) -> dict:
+    return {
+        "min_speedup_vs_baseline": minimum,
+        "speedup_vs_baseline": vs_baseline,
+        "speedup_vs_reference": vs_reference,
+    }
+
+
+def test_gate_passes_on_identical_measurement():
+    assert gate.evaluate(_payload(), _payload()) == []
+
+
+def test_gate_allows_bounded_regression():
+    fresh = _payload(vs_reference=6.0 * 0.81)
+    assert gate.evaluate(fresh, _payload()) == []
+
+
+def test_gate_fails_on_large_regression():
+    fresh = _payload(vs_reference=6.0 * 0.79)
+    failures = gate.evaluate(fresh, _payload())
+    assert len(failures) == 1
+    assert "regressed" in failures[0]
+
+
+def test_gate_fails_when_committed_baseline_below_acceptance():
+    committed = _payload(vs_baseline=9.5)
+    failures = gate.evaluate(_payload(), committed)
+    assert len(failures) == 1
+    assert "below the required" in failures[0]
+
+
+def test_gate_max_regression_knob():
+    fresh = _payload(vs_reference=6.0 * 0.55)
+    assert gate.evaluate(fresh, _payload(), max_regression=0.5) == []
+    assert gate.evaluate(fresh, _payload(), max_regression=0.4) != []
+
+
+def test_gate_cli_round_trip(tmp_path, capsys):
+    fresh = tmp_path / "fresh.json"
+    committed = tmp_path / "committed.json"
+    committed.write_text(json.dumps(_payload()))
+
+    fresh.write_text(json.dumps(_payload(vs_reference=5.9)))
+    assert (
+        gate.main([str(fresh), "--baseline", str(committed)]) == 0
+    )
+    assert "bench-gate: ok" in capsys.readouterr().out
+
+    fresh.write_text(json.dumps(_payload(vs_reference=1.0)))
+    assert (
+        gate.main([str(fresh), "--baseline", str(committed)]) == 1
+    )
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_committed_artifact_passes_its_own_gate():
+    """The checked-in BENCH_fastpath.json must satisfy the acceptance
+    bar it records — the gate run in CI starts from this artifact."""
+    with open(REPO_ROOT / "BENCH_fastpath.json") as handle:
+        committed = json.load(handle)
+    assert gate.evaluate(committed, committed) == []
+    assert committed["speedup_vs_baseline"] >= committed[
+        "min_speedup_vs_baseline"
+    ]

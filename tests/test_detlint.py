@@ -41,6 +41,7 @@ def codes_and_lines(findings: list[Finding]) -> set[tuple[str, int]]:
         ("det004_entropy.py", {("DET004", 6)}),
         ("det005_mutation.py", {("DET005", 6)}),
         ("det006_barewrite.py", {("DET006", 8), ("DET006", 12)}),
+        ("det007_persample.py", {("DET007", 8), ("DET007", 9)}),
         ("inv101_name.py", {("INV101", 6)}),
     ],
 )
@@ -177,6 +178,42 @@ def test_det006_ignores_reads_and_non_json_writes(tmp_path):
     assert run_paths([str(path)]) == []
 
 
+def test_det007_scoped_to_hot_packages_with_reference_exempt(tmp_path):
+    # The scalar reference pair may walk traces sample-by-sample; code
+    # outside repro.core/repro.leo is out of scope entirely.
+    body = (
+        "def f(samples):\n"
+        "    return [s.capacity_mbps(True) for s in samples]\n"
+    )
+    for module in (
+        "repro.core.fluid",
+        "repro.core.fastpath.fluid",
+        "repro.cellular.capacity",
+    ):
+        path = tmp_path / (module.replace(".", "_") + ".py")
+        path.write_text(f"# detlint-module: {module}\n" + body)
+        assert run_paths([str(path)]) == [], module
+    hot = tmp_path / "hot.py"
+    hot.write_text("# detlint-module: repro.core.analysis\n" + body)
+    assert {f.code for f in run_paths([str(hot)])} == {"DET007"}
+
+
+def test_det007_ignores_non_trace_loops(tmp_path):
+    # Loops whose variable never feeds LinkConditions consumption stay
+    # clean — the rule keys on the sample API, not on loops as such.
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "# detlint-module: repro.core.mod\n"
+        "def f(records, walker):\n"
+        "    total = 0.0\n"
+        "    for record in records:\n"
+        "        total += record.throughput\n"
+        "        walker.step()\n"
+        "    return total\n"
+    )
+    assert run_paths([str(path)]) == []
+
+
 def test_det005_ignores_non_fingerprint_fields(tmp_path):
     # workers/resilience are execution knobs, deliberately outside the
     # fingerprint — mutating them (repro.experiments.common does) is fine.
@@ -267,7 +304,7 @@ def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for code in ("DET001", "DET002", "DET003", "DET004", "DET005",
-                 "DET006", "INV101", "SUP001"):
+                 "DET006", "DET007", "INV101", "SUP001"):
         assert code in out
 
 

@@ -5,6 +5,7 @@ import math
 import random
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.conditions import LinkConditions
@@ -226,3 +227,57 @@ def test_tcp_delivers_in_order_prefix(rate, delay_ms, seed):
     sim.run(until_s=3.0)
     assert receiver.bytes_received == receiver.rcv_next * 1500
     assert sender.snd_una <= sender.snd_nxt
+
+
+# -- TCP water-fill allocation invariants --------------------------------
+
+
+@given(
+    cwnds=st.lists(
+        st.floats(min_value=1e3, max_value=1e9), min_size=1, max_size=8
+    ),
+    capacity_bytes=st.floats(min_value=1e2, max_value=1e10),
+    rtt_s=st.floats(min_value=1e-3, max_value=2.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_water_fill_allocation_invariants(cwnds, capacity_bytes, rtt_s):
+    """FluidTcp._allocate conserves capacity and never over-serves a lane:
+    every rate is within its lane's demand, the total never exceeds
+    capacity, and when demand saturates the link the capacity is fully
+    spent."""
+    model = FluidTcp(parallel=len(cwnds))
+    model._cwnd = np.asarray(cwnds, dtype=float)
+    rates = np.asarray(model._allocate(capacity_bytes, rtt_s))
+    demand = np.asarray(cwnds, dtype=float) / rtt_s
+    assert np.all(rates >= 0.0)
+    assert np.all(rates <= demand * (1.0 + 1e-12) + 1e-12)
+    total = float(demand.sum())
+    if total <= capacity_bytes:
+        # Unconstrained: everyone gets exactly their demand.
+        assert np.array_equal(rates, demand)
+    else:
+        # Constrained: the link is fully allocated (up to fp rounding).
+        assert float(rates.sum()) <= capacity_bytes * (1.0 + 1e-9)
+        assert float(rates.sum()) == pytest.approx(capacity_bytes, rel=1e-9)
+
+
+@given(
+    cwnds=st.lists(
+        st.floats(min_value=1e3, max_value=1e9), min_size=2, max_size=8
+    ),
+    capacity_bytes=st.floats(min_value=1e2, max_value=1e10),
+    rtt_s=st.floats(min_value=1e-3, max_value=2.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=100, deadline=None)
+def test_water_fill_allocation_order_invariant(cwnds, capacity_bytes, rtt_s, seed):
+    """Permuting the lanes permutes the rates: lane identity never buys
+    bandwidth (tied demands receive equal shares either way)."""
+    perm = np.random.default_rng(seed).permutation(len(cwnds))
+    model = FluidTcp(parallel=len(cwnds))
+    model._cwnd = np.asarray(cwnds, dtype=float)
+    rates = np.asarray(model._allocate(capacity_bytes, rtt_s))
+    shuffled = FluidTcp(parallel=len(cwnds))
+    shuffled._cwnd = np.asarray(cwnds, dtype=float)[perm]
+    shuffled_rates = np.asarray(shuffled._allocate(capacity_bytes, rtt_s))
+    np.testing.assert_allclose(shuffled_rates, rates[perm], rtol=1e-9, atol=0.0)
