@@ -30,12 +30,15 @@ WALL_CLOCK_METRICS = frozenset(
 )
 
 #: Metric series describing *how* a run executed rather than *what* it
-#: produced: self-healing events (``resilience.*``) and checkpoint
-#: resume counts vary with crashes, retries, and watchdog kills while
-#: the dataset stays byte-identical, so the deterministic view drops
-#: them the same way it drops wall-clock series.
+#: produced: self-healing events (``resilience.*``), artifact-layer
+#: activity (``store.*``), service-queue activity (``serve.*``), and
+#: checkpoint resume counts vary with crashes, retries, watchdog kills,
+#: and queue pressure while the dataset stays byte-identical, so the
+#: deterministic view drops them the same way it drops wall-clock
+#: series.  detlint rule INV102 enforces that every series the service
+#: registers is covered here.
 EXECUTION_METRICS = frozenset({"campaign.drives_resumed"})
-EXECUTION_METRIC_PREFIXES = ("resilience.", "store.")
+EXECUTION_METRIC_PREFIXES = ("resilience.", "store.", "serve.")
 
 #: ``extra`` keys that are execution facts, not dataset facts.
 EXECUTION_EXTRA_KEYS = frozenset({"drives_resumed"})

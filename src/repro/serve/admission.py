@@ -1,0 +1,56 @@
+"""Admission control: bounded queue depth and a concurrency budget.
+
+The service sheds load at the front door rather than degrading under
+it: beyond ``max_queue_depth`` pending jobs a submission fails *fast*
+with the typed :class:`AdmissionRejected` (in-process submitters catch
+it; filesystem submitters see a journaled ``rejected`` state), and at
+most ``max_concurrent`` jobs execute at once however deep the queue is.
+Rejection is cheap and stateless by design — the journal never grows on
+a rejected in-process submission, so an abusive submitter cannot bloat
+the WAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AdmissionRejected(RuntimeError):
+    """The service is at capacity; the submission was not accepted.
+
+    Carries enough to make the rejection actionable: the job id the
+    spec would have been admitted under, and the depth/bound pair that
+    tripped.
+    """
+
+    def __init__(self, job_id: str, depth: int, max_queue_depth: int):
+        self.job_id = job_id
+        self.depth = depth
+        self.max_queue_depth = max_queue_depth
+        super().__init__(
+            f"queue full ({depth}/{max_queue_depth} pending): "
+            f"submission {job_id} rejected"
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionControl:
+    """The two capacity bounds, with validation."""
+
+    max_queue_depth: int = 64
+    max_concurrent: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+
+    def check(self, job_id: str, depth: int) -> None:
+        """Raise :class:`AdmissionRejected` if ``depth`` is at capacity."""
+        if depth >= self.max_queue_depth:
+            raise AdmissionRejected(job_id, depth, self.max_queue_depth)

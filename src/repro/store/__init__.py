@@ -11,7 +11,8 @@ The repo's artifact layer (see ``docs/ARTIFACTS.md``):
   checkpoint format (``--artifact-format jsonl``) whose manifest commits
   the shard set;
 * :mod:`repro.store.cache` — :class:`DriveCache`, the content-addressed
-  result cache keyed by ``(config.fingerprint(), drive_id)``.
+  result cache keyed by ``(config.fingerprint(), drive_id)``, bounded
+  with ``max_bytes`` / collected by ``python -m repro.store gc``.
 """
 
 from repro.resilience.integrity import quarantine
@@ -22,7 +23,7 @@ from repro.store.artifacts import (
     StoreRecovery,
     shard_name,
 )
-from repro.store.cache import DriveCache
+from repro.store.cache import CacheEntry, CacheGcResult, DriveCache
 from repro.store.commit import (
     atomic_write_bytes,
     atomic_write_json,
@@ -47,6 +48,8 @@ __all__ = [
     "MANIFEST_NAME",
     "SHARD_VERSION",
     "STORE_VERSION",
+    "CacheEntry",
+    "CacheGcResult",
     "DriveCache",
     "ShardCorruptError",
     "ShardData",

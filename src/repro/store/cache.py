@@ -14,24 +14,71 @@ silently served** — the cache can only ever save work, not corrupt a
 dataset.  Re-running an unchanged campaign recomputes zero drives;
 changing the config changes the fingerprint, which simply addresses a
 different (initially empty) directory, so only changed work is paid for.
+
+The cache is bounded with ``max_bytes``: when set, every
+:meth:`DriveCache.put` (and any explicit :meth:`DriveCache.gc`) evicts
+entries **oldest first** — ordered by mtime, then by relative path as
+the tiebreak, so two caches with the same contents and timestamps evict
+identically.  Eviction only ever deletes cache entries (recomputable by
+construction); the same sweep also clears ``.tmp`` debris a SIGKILL
+mid-write can leave behind.  ``python -m repro.store gc`` runs the same
+collection from the command line.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.resilience.integrity import quarantine
 from repro.store.artifacts import shard_name
-from repro.store.commit import atomic_write_bytes
+from repro.store.commit import atomic_write_bytes, fsync_dir
 from repro.store.shard import ShardCorruptError, build_shard_bytes, read_shard
 
 
-class DriveCache:
-    """Payload cache keyed by ``(fingerprint, drive_id)``."""
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cache entry as the collector sees it."""
 
-    def __init__(self, root: str | os.PathLike):
+    #: Path relative to the cache root (``<fingerprint>/<shard>``).
+    relpath: str
+    size_bytes: int
+    mtime_ns: int
+
+    @property
+    def sort_key(self) -> tuple[int, str]:
+        """Eviction order: oldest mtime first, path as the tiebreak."""
+        return (self.mtime_ns, self.relpath)
+
+
+@dataclass
+class CacheGcResult:
+    """What one garbage-collection pass did (or would do)."""
+
+    bytes_before: int = 0
+    bytes_after: int = 0
+    evicted: list[CacheEntry] = field(default_factory=list)
+    tmp_removed: list[str] = field(default_factory=list)
+
+    @property
+    def bytes_freed(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+
+class DriveCache:
+    """Payload cache keyed by ``(fingerprint, drive_id)``.
+
+    ``max_bytes`` bounds the cache: every :meth:`put` collects down to
+    the bound, oldest entries first.  ``None`` (the default) keeps the
+    historical unbounded behaviour.
+    """
+
+    def __init__(self, root: str | os.PathLike, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
         self.root = os.fspath(root)
+        self.max_bytes = max_bytes
 
     def entry_path(self, fingerprint: str, drive_id: int) -> str:
         return os.path.join(self.root, fingerprint, shard_name(drive_id))
@@ -78,3 +125,108 @@ class DriveCache:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         data, _ = build_shard_bytes(fingerprint, drive_id, records, meta)
         atomic_write_bytes(path, data, boundary="cache")
+        if self.max_bytes is not None:
+            self.gc()
+
+    # -- garbage collection ------------------------------------------------
+
+    def entries(self) -> list[CacheEntry]:
+        """Every cache entry, in deterministic path order."""
+        found: list[CacheEntry] = []
+        for fingerprint in self._fingerprint_dirs():
+            directory = os.path.join(self.root, fingerprint)
+            for name in sorted(os.listdir(directory)):
+                if not name.endswith(".jsonl"):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                found.append(
+                    CacheEntry(
+                        relpath=f"{fingerprint}/{name}",
+                        size_bytes=stat.st_size,
+                        mtime_ns=stat.st_mtime_ns,
+                    )
+                )
+        return found
+
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def gc(
+        self, max_bytes: int | None = None, *, dry_run: bool = False
+    ) -> CacheGcResult:
+        """Collect the cache down to ``max_bytes`` (oldest entries first).
+
+        ``max_bytes`` defaults to the cache's own bound; ``None`` with an
+        unbounded cache removes nothing but still sweeps ``.tmp`` debris
+        left by a crash mid-write.  ``dry_run`` reports what would be
+        evicted without touching the filesystem.  Eviction order is
+        deterministic — (mtime, then relative path) — so identical cache
+        states collect identically.
+        """
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        result = CacheGcResult()
+        if not dry_run:
+            result.tmp_removed = self._sweep_tmp_debris()
+        entries = self.entries()
+        result.bytes_before = sum(entry.size_bytes for entry in entries)
+        result.bytes_after = result.bytes_before
+        if max_bytes is None:
+            return result
+        touched: set[str] = set()
+        for entry in sorted(entries, key=lambda e: e.sort_key):
+            if result.bytes_after <= max_bytes:
+                break
+            result.evicted.append(entry)
+            result.bytes_after -= entry.size_bytes
+            if not dry_run:
+                path = os.path.join(self.root, entry.relpath)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                touched.add(os.path.dirname(path))
+        for directory in sorted(touched):
+            fsync_dir(directory)
+        if not dry_run:
+            self._prune_empty_dirs()
+        return result
+
+    def _fingerprint_dirs(self) -> list[str]:
+        try:
+            names = sorted(os.listdir(self.root))
+        except FileNotFoundError:
+            return []
+        return [
+            name
+            for name in names
+            if os.path.isdir(os.path.join(self.root, name))
+        ]
+
+    def _sweep_tmp_debris(self) -> list[str]:
+        """Remove ``.tmp`` files a SIGKILL mid-commit left behind."""
+        removed: list[str] = []
+        for fingerprint in self._fingerprint_dirs():
+            directory = os.path.join(self.root, fingerprint)
+            for name in sorted(os.listdir(directory)):
+                if not name.endswith(".tmp"):
+                    continue
+                try:
+                    os.unlink(os.path.join(directory, name))
+                except OSError:
+                    continue
+                removed.append(f"{fingerprint}/{name}")
+        return removed
+
+    def _prune_empty_dirs(self) -> None:
+        for fingerprint in self._fingerprint_dirs():
+            directory = os.path.join(self.root, fingerprint)
+            try:
+                if not os.listdir(directory):
+                    os.rmdir(directory)
+            except OSError:
+                continue

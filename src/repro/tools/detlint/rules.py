@@ -1,4 +1,4 @@
-"""The detlint rule set: DET001–DET007 and INV101.
+"""The detlint rule set: DET001–DET007, INV101, and INV102.
 
 Each rule enforces one determinism or observability invariant that the
 keystone byte-identity tests (``tests/test_parallel_campaign.py``,
@@ -641,4 +641,56 @@ def inv101_manifest(contexts: list[FileContext]) -> Iterable[Finding]:
                     f"EXECUTION_METRIC_PREFIXES lists {prefix!r} but no "
                     "registered series uses it; drop the stale prefix"
                 )))
+    return findings
+
+
+# -- INV102: service metrics stay out of the deterministic manifest ------
+
+#: The service package: every series registered here is an execution
+#: fact (queue pressure, crashes, quarantines — never dataset content),
+#: so each must be covered by the manifest's exclusion constants or the
+#: deterministic view would stop being a pure function of the config.
+SERVE_PACKAGE = "repro.serve"
+
+
+def _excluded_from_deterministic_manifest(name: str) -> bool:
+    """Is ``name`` dropped by ``RunManifest.deterministic_dict``?
+
+    Checks the *live* exclusion constants — the manifest module is
+    stdlib-only and always importable wherever detlint runs — so the
+    rule can never drift from the code it guards.
+    """
+    from repro.obs.manifest import (
+        EXECUTION_METRIC_PREFIXES,
+        EXECUTION_METRICS,
+        WALL_CLOCK_METRICS,
+    )
+
+    if name in WALL_CLOCK_METRICS or name in EXECUTION_METRICS:
+        return True
+    return any(name.startswith(prefix) for prefix in EXECUTION_METRIC_PREFIXES)
+
+
+@rule("INV102", "serve metrics must be excluded from the deterministic manifest")
+def inv102_serve_metrics(ctx: FileContext) -> Iterable[Finding]:
+    if not _in_packages(ctx.module, (SERVE_PACKAGE,)):
+        return []
+    findings: list[Finding] = []
+    for node in _walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in REGISTRY_FACTORIES:
+            continue
+        if not (node.args and isinstance(node.args[0], ast.Constant)):
+            continue
+        value = node.args[0].value
+        if not isinstance(value, str) or not SERIES_NAME_RE.match(value):
+            continue  # shape problems are INV101's report
+        if not _excluded_from_deterministic_manifest(value):
+            findings.append(ctx.finding(node.args[0], "INV102", (
+                f"series {value!r} is registered by the service but not "
+                "excluded from the deterministic manifest; add it to "
+                "WALL_CLOCK_METRICS/EXECUTION_METRICS or give it an "
+                "EXECUTION_METRIC_PREFIXES prefix in repro.obs.manifest"
+            )))
     return findings

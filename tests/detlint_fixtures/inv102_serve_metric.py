@@ -1,0 +1,8 @@
+# detlint-module: repro.serve.fixture
+"""INV102: the service registers a series the deterministic manifest
+would keep — ``campaign.sneaky_total`` matches no exclusion constant."""
+
+
+def register(obs):
+    obs.counter("serve.admissions")
+    obs.counter("campaign.sneaky_total")

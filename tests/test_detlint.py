@@ -43,6 +43,7 @@ def codes_and_lines(findings: list[Finding]) -> set[tuple[str, int]]:
         ("det006_barewrite.py", {("DET006", 8), ("DET006", 12)}),
         ("det007_persample.py", {("DET007", 8), ("DET007", 9)}),
         ("inv101_name.py", {("INV101", 6)}),
+        ("inv102_serve_metric.py", {("INV102", 8)}),
     ],
 )
 def test_rule_fires_on_fixture(fixture: str, expected: set[tuple[str, int]]):
@@ -265,6 +266,39 @@ def test_inv101_project_check_skipped_on_partial_scan(tmp_path):
     assert run_paths([paths[0]]) == []
 
 
+# -- INV102 --------------------------------------------------------------
+
+
+def test_inv102_scoped_to_serve_package(tmp_path):
+    # Only repro.serve is held to the exclusion contract; the same
+    # registration elsewhere is INV101's (shape-only) business.
+    body = 'def register(obs):\n    obs.counter("campaign.sneaky_total")\n'
+    outside = tmp_path / "outside.py"
+    outside.write_text("# detlint-module: repro.core.campaign\n" + body)
+    inside = tmp_path / "inside.py"
+    inside.write_text("# detlint-module: repro.serve.service\n" + body)
+    assert run_paths([str(outside)]) == []
+    assert {f.code for f in run_paths([str(inside)])} == {"INV102"}
+
+
+def test_inv102_accepts_all_exclusion_routes(tmp_path):
+    # Prefix match, wall-clock membership, and execution membership all
+    # satisfy the contract — the rule reads the live manifest constants.
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "# detlint-module: repro.serve.service\n"
+        "def register(obs):\n"
+        '    obs.counter("serve.admissions")\n'
+        '    obs.gauge("serve.queue_depth")\n'
+        '    obs.histogram("serve.job_seconds")\n'
+        '    obs.counter("campaign.drive_seconds")\n'
+        '    obs.counter("campaign.drives_resumed")\n'
+        '    obs.counter("resilience.retries")\n'
+        '    obs.counter("store.shards_written")\n'
+    )
+    assert run_paths([str(path)]) == []
+
+
 # -- module naming -------------------------------------------------------
 
 
@@ -304,7 +338,7 @@ def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for code in ("DET001", "DET002", "DET003", "DET004", "DET005",
-                 "DET006", "DET007", "INV101", "SUP001"):
+                 "DET006", "DET007", "INV101", "INV102", "SUP001"):
         assert code in out
 
 

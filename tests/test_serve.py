@@ -1,0 +1,434 @@
+"""Unit tests for repro.serve: journal, admission, state machine, client.
+
+The crash/SIGTERM proofs live in ``tests/test_serve_crash.py``; this
+file covers the service's synchronous behaviour — WAL replay, dedup,
+typed rejection, retry budgets, poison quarantine bookkeeping, the
+filesystem protocol, and the CLI.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import ObsRecorder
+from repro.obs.manifest import EXECUTION_METRIC_PREFIXES, RunManifest
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.taxonomy import TransientDriveError
+from repro.serve import (
+    AdmissionRejected,
+    CampaignService,
+    InvalidSubmission,
+    JobJournal,
+    JobState,
+    ServiceClient,
+    ServiceConfig,
+    job_id_for_spec,
+    replay_journal,
+    spec_to_config,
+)
+from repro.serve import service as service_module
+from repro.serve.journal import JOURNAL_NAME
+
+#: A campaign small enough for unit tests (one short interstate drive).
+SPEC = {
+    "seed": 13,
+    "num_interstate_drives": 1,
+    "num_city_drives": 0,
+    "max_drive_seconds": 120.0,
+    "test_duration_s": 30.0,
+    "window_period_s": 50.0,
+}
+
+
+def _config(tmp_path, **overrides):
+    defaults = dict(
+        root=str(tmp_path / "serve"),
+        isolation="inline",
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0),
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _service(tmp_path, **overrides):
+    return CampaignService(_config(tmp_path, **overrides), recorder=ObsRecorder())
+
+
+# -- journal -------------------------------------------------------------
+
+
+def test_journal_roundtrip(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = JobJournal(path)
+    replay = journal.open()
+    assert replay.jobs == {}
+    journal.append({"event": "submitted", "job": "job-a", "spec": {"seed": 1}})
+    journal.append({"event": "admitted", "job": "job-a"})
+    journal.append({"event": "running", "job": "job-a", "attempt": 0})
+    journal.append({"event": "done", "job": "job-a"})
+    journal.close()
+
+    replay = replay_journal(path)
+    assert replay.torn_reason is None
+    record = replay.jobs["job-a"]
+    assert record.state is JobState.DONE
+    assert record.attempts == 1
+    assert record.spec == {"seed": 1}
+
+
+def test_journal_truncates_torn_tail(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = JobJournal(path)
+    journal.open()
+    journal.append({"event": "submitted", "job": "job-a", "spec": {}})
+    journal.append({"event": "admitted", "job": "job-a"})
+    journal.close()
+    good_size = os.path.getsize(path)
+    with open(path, "ab") as handle:
+        handle.write(b'{"chain": "torn half-line with no newl')
+
+    replay = replay_journal(path)
+    assert replay.torn_reason is not None
+    assert replay.jobs["job-a"].state is JobState.ADMITTED
+    # Read-only replay never modifies the file...
+    assert os.path.getsize(path) > good_size
+
+    # ...opening for append truncates back to the committed prefix.
+    journal = JobJournal(path)
+    replay = journal.open()
+    assert os.path.getsize(path) == good_size
+    journal.append({"event": "running", "job": "job-a", "attempt": 0})
+    journal.close()
+    replay = replay_journal(path)
+    assert replay.torn_reason is None
+    assert replay.jobs["job-a"].state is JobState.RUNNING
+
+
+def test_journal_stops_at_chain_break(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = JobJournal(path)
+    journal.open()
+    journal.append({"event": "submitted", "job": "job-a", "spec": {}})
+    journal.append({"event": "admitted", "job": "job-a"})
+    journal.append({"event": "running", "job": "job-a", "attempt": 0})
+    journal.close()
+
+    lines = open(path, "rb").read().splitlines(keepends=True)
+    # Corrupt the 'admitted' line: everything after it is untrusted.
+    tampered = lines[2].replace(b'"admitted"', b'"cancelled"')
+    with open(path, "wb") as handle:
+        handle.write(b"".join(lines[:2] + [tampered] + lines[3:]))
+
+    replay = replay_journal(path)
+    assert replay.torn_reason is not None
+    assert replay.jobs["job-a"].state is JobState.SUBMITTED
+
+
+# -- specs and identity --------------------------------------------------
+
+
+def test_job_id_is_content_addressed():
+    assert job_id_for_spec(SPEC) == job_id_for_spec(dict(SPEC))
+    assert job_id_for_spec(SPEC) != job_id_for_spec({**SPEC, "seed": 14})
+    assert job_id_for_spec(SPEC).startswith("job-")
+
+
+def test_spec_to_config_forces_sharded_layout(tmp_path):
+    config = spec_to_config(SPEC, cache_dir=str(tmp_path))
+    assert config.artifact_format == "jsonl"
+    assert config.cache_dir == str(tmp_path)
+    assert config.seed == 13
+
+
+def test_spec_to_config_presets_and_execution_knobs():
+    config = spec_to_config(
+        {"preset": "small", "seed": 3, "drives": 2, "workers": 4,
+         "retries": 2, "drive_timeout_s": 900.0}
+    )
+    assert config.num_interstate_drives == 2
+    assert config.workers == 4
+    assert config.resilience is not None
+    assert config.resilience.retry.max_attempts == 3
+    assert config.resilience.drive_timeout_s == 900.0
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        {"bogus_knob": 1},
+        {"preset": "galactic"},
+        {"drives": 2},                      # 'drives' needs preset small
+        {"preset": "smoke", "drives": 2},   # ...specifically small
+        {"seed": -1},                       # CampaignConfig validation
+        "not a dict",
+    ],
+)
+def test_invalid_specs_rejected(spec):
+    with pytest.raises(InvalidSubmission):
+        spec_to_config(spec)
+
+
+# -- admission, dedup, cancellation --------------------------------------
+
+
+def test_admission_rejected_beyond_capacity(tmp_path):
+    service = _service(tmp_path, max_queue_depth=1)
+    service.submit(SPEC)
+    with pytest.raises(AdmissionRejected) as excinfo:
+        service.submit({**SPEC, "seed": 14})
+    assert excinfo.value.max_queue_depth == 1
+    assert excinfo.value.depth == 1
+    assert service.obs.registry.value("serve.rejections") == 1.0
+    # The rejected submission never reached the journal.
+    assert len(service.jobs) == 1
+    service.close()
+
+
+def test_inbox_rejection_is_journaled(tmp_path):
+    service = _service(tmp_path, max_queue_depth=1)
+    service.start()
+    service.submit(SPEC)
+    client = ServiceClient(service.root)
+    overflow = {**SPEC, "seed": 15}
+    overflow_id = client.submit(overflow)
+    service._scan_inbox()
+    record = service.jobs[overflow_id]
+    assert record.state is JobState.REJECTED
+    assert "queue full" in record.reason
+    # The inbox file was consumed either way.
+    assert os.listdir(os.path.join(service.root, "inbox")) == []
+    service.close()
+
+    # A filesystem client sees the rejection in its status query.
+    assert client.status(overflow_id).state is JobState.REJECTED
+
+
+def test_inbox_invalid_spec_is_journaled(tmp_path):
+    service = _service(tmp_path)
+    service.start()
+    client = ServiceClient(service.root)
+    bad_id = client.submit({"no_such_knob": 7})
+    service._scan_inbox()
+    assert service.jobs[bad_id].state is JobState.REJECTED
+    assert "no_such_knob" in service.jobs[bad_id].reason
+    service.close()
+
+
+def test_duplicate_submission_dedups(tmp_path):
+    service = _service(tmp_path)
+    first = service.submit(SPEC)
+    again = service.submit(dict(SPEC))
+    assert first == again
+    assert len(service.jobs) == 1
+    service.run_until_drained()
+    assert service.jobs[first].state is JobState.DONE
+    attempts = service.jobs[first].attempts
+
+    # Resubmitting a finished job serves the existing artifacts.
+    assert service.submit(SPEC) == first
+    service.run_until_drained()
+    assert service.jobs[first].attempts == attempts
+    assert service.obs.registry.value("serve.dedup_hits") == 1.0
+    service.close()
+
+
+def test_cancel_before_running(tmp_path):
+    service = _service(tmp_path)
+    service.start()
+    job_id = service.submit(SPEC)
+    ServiceClient(service.root).cancel(job_id)
+    service._scan_control()
+    assert service.jobs[job_id].state is JobState.CANCELLED
+    service.run_until_drained()
+    assert service.jobs[job_id].attempts == 0
+    service.close()
+
+
+# -- retries, failures, poison -------------------------------------------
+
+
+def test_transient_failures_retried_then_succeed(tmp_path, monkeypatch):
+    calls = []
+
+    def hook(job_id, attempt):
+        calls.append(attempt)
+        if len(calls) < 3:
+            raise TransientDriveError(f"flaky attempt {attempt}")
+
+    monkeypatch.setattr(service_module, "_JOB_HOOK", hook)
+    service = _service(tmp_path)
+    job_id = service.submit(SPEC)
+    service.run_until_drained()
+    record = service.jobs[job_id]
+    assert record.state is JobState.DONE
+    assert record.attempts == 3
+    assert record.error_retries == 2
+    assert service.obs.registry.value("serve.retries") == 2.0
+    service.close()
+
+
+def test_transient_failures_exhaust_retry_budget(tmp_path, monkeypatch):
+    def hook(job_id, attempt):
+        raise TransientDriveError("always flaky")
+
+    monkeypatch.setattr(service_module, "_JOB_HOOK", hook)
+    service = _service(tmp_path)
+    job_id = service.submit(SPEC)
+    service.run_until_drained()
+    record = service.jobs[job_id]
+    assert record.state is JobState.FAILED
+    assert record.attempts == 3  # max_attempts from the RetryPolicy
+    assert record.error_type == "TransientDriveError"
+    service.close()
+
+
+def test_permanent_failure_fails_immediately(tmp_path, monkeypatch):
+    def hook(job_id, attempt):
+        raise ValueError("deterministically broken")
+
+    monkeypatch.setattr(service_module, "_JOB_HOOK", hook)
+    service = _service(tmp_path)
+    job_id = service.submit(SPEC)
+    service.run_until_drained()
+    record = service.jobs[job_id]
+    assert record.state is JobState.FAILED
+    assert record.attempts == 1
+    assert record.error_type == "ValueError"
+    service.close()
+
+
+def test_poison_job_quarantined_after_threshold(tmp_path):
+    """Replaying a journal full of crashes quarantines — never requeues."""
+    root = tmp_path / "serve"
+    job_id = job_id_for_spec(SPEC)
+
+    service = _service(tmp_path, poison_threshold=2)
+    service.start()
+    service.submit(SPEC)
+    # Simulate the service dying mid-run: journal 'running' with no
+    # terminal event, exactly what a SIGKILL leaves behind.
+    service._journal({"event": "running", "job": job_id, "attempt": 0})
+    service.close()
+
+    second = _service(tmp_path, poison_threshold=2)
+    second.start()
+    assert second.jobs[job_id].crashes == 1
+    assert second.jobs[job_id].state is JobState.ADMITTED  # requeued once
+    second._journal({"event": "running", "job": job_id, "attempt": 1})
+    second.close()
+
+    third = _service(tmp_path, poison_threshold=2)
+    third.start()
+    record = third.jobs[job_id]
+    assert record.state is JobState.QUARANTINED
+    assert record.crashes == 2
+    assert "poison" in record.reason
+    assert third.obs.registry.value("serve.quarantines") == 1.0
+    # Quarantine is terminal: draining the queue never runs the job.
+    third.run_until_drained()
+    assert third.jobs[job_id].attempts == 2
+    assert third.jobs[job_id].state is JobState.QUARANTINED
+    third.close()
+
+    replay = replay_journal(root / JOURNAL_NAME)
+    events = [body["event"] for body in replay.events if body["job"] == job_id]
+    assert events.count("quarantined") == 1
+
+
+def test_checkpointed_job_resumes_on_restart(tmp_path):
+    job_id = job_id_for_spec(SPEC)
+    service = _service(tmp_path)
+    service.start()
+    service.submit(SPEC)
+    service._journal({"event": "running", "job": job_id, "attempt": 0})
+    service._journal({"event": "checkpointed", "job": job_id})
+    service.close()
+
+    second = _service(tmp_path)
+    second.start()
+    # A graceful checkpoint is not a crash: no poison accounting.
+    assert second.jobs[job_id].crashes == 0
+    assert second.jobs[job_id].state is JobState.ADMITTED
+    assert second.obs.registry.value("serve.resumes") == 1.0
+    second.run_until_drained()
+    assert second.jobs[job_id].state is JobState.DONE
+    second.close()
+
+
+# -- metrics -------------------------------------------------------------
+
+
+def test_serve_metrics_excluded_from_deterministic_manifest():
+    assert "serve." in EXECUTION_METRIC_PREFIXES
+    obs = ObsRecorder()
+    obs.counter("serve.admissions").inc()
+    obs.counter("campaign.tests_total").inc()
+    manifest = RunManifest.from_recorder(obs, "fp")
+    names = {entry["name"] for entry in manifest.deterministic_dict()["metrics"]}
+    assert "campaign.tests_total" in names
+    assert not any(name.startswith("serve.") for name in names)
+
+
+# -- client + CLI --------------------------------------------------------
+
+
+def test_filesystem_protocol_end_to_end(tmp_path):
+    service = _service(tmp_path)
+    service.start()
+    client = ServiceClient(service.root)
+    job_id = client.submit(SPEC)
+    service.run_until_drained()
+    service.close()
+
+    record = client.status(job_id)
+    assert record.state is JobState.DONE
+    assert client.is_done(job_id)
+    paths = client.result_paths(job_id)
+    assert os.path.exists(paths.dataset)
+    assert os.path.exists(paths.manifest)
+    assert os.path.isdir(paths.store)
+    manifest = RunManifest.load_json(paths.manifest)
+    assert manifest.fingerprint == spec_to_config(SPEC).fingerprint()
+
+
+def test_drain_request_stops_the_service(tmp_path):
+    service = _service(tmp_path)
+    service.start()
+    ServiceClient(service.root).drain()
+    # run_forever honours the drain request instead of serving forever.
+    service.run_forever()
+    service.close()
+
+
+def test_cli_submit_run_status(tmp_path):
+    root = str(tmp_path / "serve")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(os.path.dirname(__file__), "..", "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+
+    def cli(*args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.serve", *args],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+
+    submitted = cli("submit", "--root", root, "--spec", json.dumps(SPEC))
+    assert submitted.returncode == 0, submitted.stderr
+    job_id = submitted.stdout.strip()
+    assert job_id == job_id_for_spec(SPEC)
+
+    ran = cli("run", "--root", root, "--once", "--inline")
+    assert ran.returncode == 0, ran.stderr
+
+    status = cli("status", "--root", root, job_id)
+    assert status.returncode == 0, status.stderr
+    assert json.loads(status.stdout)["state"] == "done"
+
+    listing = cli("status", "--root", root)
+    assert [row["job"] for row in json.loads(listing.stdout)] == [job_id]
