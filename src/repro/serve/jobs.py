@@ -29,7 +29,7 @@ import dataclasses
 import enum
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.campaign import CampaignConfig
 from repro.resilience.policy import ResilienceConfig, RetryPolicy
@@ -69,7 +69,7 @@ PENDING_STATES = frozenset(
 )
 
 
-def job_id_for_spec(spec: dict) -> str:
+def job_id_for_spec(spec: dict[str, Any]) -> str:
     """Content-addressed job id: same spec, same job."""
     blob = canonical_json(spec).encode("utf-8")
     return "job-" + hashlib.sha256(blob).hexdigest()[:16]
@@ -91,14 +91,16 @@ _SIM_KEYS = frozenset(
 #: Execution-only spec keys (never change the produced bytes).
 _EXEC_KEYS = frozenset({"workers", "retries", "drive_timeout_s"})
 
-_PRESETS = {
+_PRESETS: dict[str, Callable[..., CampaignConfig]] = {
     "paper": CampaignConfig.paper_scale,
     "small": CampaignConfig.small,
     "smoke": CampaignConfig.smoke,
 }
 
 
-def spec_to_config(spec: dict, *, cache_dir: str | None = None) -> CampaignConfig:
+def spec_to_config(
+    spec: dict[str, Any], *, cache_dir: str | None = None
+) -> CampaignConfig:
     """Validate a submission spec and build its campaign config.
 
     ``spec`` is a flat JSON object: either ``{"preset": "smoke"|"small"|
@@ -177,7 +179,7 @@ class JobRecord:
 
     job_id: str
     state: JobState = JobState.SUBMITTED
-    spec: dict = field(default_factory=dict)
+    spec: dict[str, Any] = field(default_factory=dict)
     #: First-submission order — the dispatcher's FIFO key.
     order: int = 0
     #: ``running`` events seen (attempt count across crashes/retries).
@@ -191,7 +193,7 @@ class JobRecord:
     #: Human-readable detail for failed/quarantined/rejected states.
     reason: str = ""
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "job": self.job_id,
             "state": self.state.value,
@@ -205,7 +207,7 @@ class JobRecord:
         }
 
 
-def fold_event(jobs: dict[str, JobRecord], body: dict) -> None:
+def fold_event(jobs: dict[str, JobRecord], body: dict[str, Any]) -> None:
     """Apply one journal event to the per-job state map, in place."""
     event = body.get("event")
     job_id = body.get("job")

@@ -45,7 +45,7 @@ def checkpoint_boundary(label: str) -> None:
         hook(label)
 
 
-def fsync_dir(path: str | os.PathLike) -> None:
+def fsync_dir(path: str | os.PathLike[str]) -> None:
     """fsync a directory so a just-renamed entry survives power loss.
 
     Best-effort on platforms whose directories cannot be opened or
@@ -66,7 +66,7 @@ def fsync_dir(path: str | os.PathLike) -> None:
 
 
 def atomic_write_bytes(
-    path: str | os.PathLike, data: bytes, *, boundary: str = "artifact"
+    path: str | os.PathLike[str], data: bytes, *, boundary: str = "artifact"
 ) -> None:
     """Durably and atomically replace ``path`` with ``data``.
 
@@ -97,7 +97,7 @@ def atomic_write_bytes(
 
 
 def atomic_write_json(
-    path: str | os.PathLike,
+    path: str | os.PathLike[str],
     payload: Any,
     *,
     indent: int | None = None,

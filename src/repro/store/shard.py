@@ -83,7 +83,7 @@ class ShardData:
 
     fingerprint: str
     drive_id: int
-    records: list[dict] = field(default_factory=list)
+    records: list[dict[str, Any]] = field(default_factory=list)
     meta: dict[str, Any] = field(default_factory=dict)
     #: The ``end`` line's chain value — commits the whole shard.
     head: str = ""
@@ -95,7 +95,7 @@ class ShardSalvage:
 
     fingerprint: str | None = None
     drive_id: int | None = None
-    records: list[dict] = field(default_factory=list)
+    records: list[dict[str, Any]] = field(default_factory=list)
     #: ``end`` metadata — present only when the whole shard verified.
     meta: dict[str, Any] | None = None
     complete: bool = False
@@ -114,7 +114,9 @@ class ShardWriter:
     reader can trust any ``*.jsonl`` it finds was written to the end.
     """
 
-    def __init__(self, final_path: str | os.PathLike, fingerprint: str, drive_id: int):
+    def __init__(
+        self, final_path: str | os.PathLike[str], fingerprint: str, drive_id: int
+    ) -> None:
         self.final_path = os.fspath(final_path)
         self.wal_path = f"{self.final_path}.wal"
         self.fingerprint = fingerprint
@@ -134,7 +136,7 @@ class ShardWriter:
         self._seq += 1
         checkpoint_boundary("shard.wal.append")
 
-    def append(self, body: dict) -> None:
+    def append(self, body: dict[str, Any]) -> None:
         """Stream one completed test record."""
         self._emit("record", body)
         self.records += 1
@@ -164,7 +166,7 @@ class ShardWriter:
 
 
 def build_shard_bytes(
-    fingerprint: str, drive_id: int, records: list[dict], meta: dict[str, Any]
+    fingerprint: str, drive_id: int, records: list[dict[str, Any]], meta: dict[str, Any]
 ) -> tuple[bytes, str]:
     """``(bytes, head_digest)`` a :class:`ShardWriter` would produce.
 
@@ -244,7 +246,7 @@ def _check_header(body: Any, name: str, fingerprint: str | None, drive_id: int |
 
 
 def read_shard(
-    path: str | os.PathLike,
+    path: str | os.PathLike[str],
     fingerprint: str | None = None,
     drive_id: int | None = None,
 ) -> ShardData:
@@ -311,7 +313,7 @@ def read_shard(
 
 
 def verify_shard(
-    path: str | os.PathLike,
+    path: str | os.PathLike[str],
     fingerprint: str | None = None,
     drive_id: int | None = None,
 ) -> bool:
@@ -325,7 +327,7 @@ def verify_shard(
     return True
 
 
-def salvage_shard(path: str | os.PathLike) -> ShardSalvage:
+def salvage_shard(path: str | os.PathLike[str]) -> ShardSalvage:
     """Best-effort scan: every complete, chain-valid record before the tear.
 
     Used on leftover ``*.wal`` files (a crash mid-drive) and quarantined

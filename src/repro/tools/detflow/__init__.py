@@ -1,0 +1,22 @@
+"""detflow: whole-program nondeterminism taint analysis.
+
+detlint (:mod:`repro.tools.detlint`) checks per-file patterns; detflow
+builds a project-wide symbol table and call graph and tracks
+nondeterminism *across* functions and modules: wall clocks, environment
+reads, unsorted directory listings, set-ordering iteration, global RNG,
+and unordered float reductions, from where they originate to the
+byte-identity surfaces they must never reach (shard writers, canonical
+JSON, fingerprints, journal payloads, deterministic-manifest metrics).
+It also proves two structural invariants no single file can show:
+every declared crash boundary has a crash test, and nothing alive
+crosses a fork.  See ``docs/STATIC_ANALYSIS.md``.
+
+Run it: ``PYTHONPATH=src python -m repro.tools.detflow src/repro``.
+"""
+
+from repro.tools.detflow.runner import (  # noqa: F401
+    DETFLOW_RULES,
+    active_codes,
+    rule_codes,
+    run_paths,
+)

@@ -1,7 +1,7 @@
-"""CLI for detlint: ``python -m repro.tools.detlint [paths] [options]``.
+"""CLI for detflow: ``python -m repro.tools.detflow [paths] [options]``.
 
-Exit codes: 0 clean, 1 findings, 2 usage/internal error — the same
-contract ruff and mypy use, so CI treats all three uniformly.
+Exit codes mirror detlint (and ruff/mypy): 0 clean, 1 findings,
+2 usage/internal error.
 """
 
 from __future__ import annotations
@@ -11,7 +11,8 @@ import json
 import sys
 from typing import Sequence
 
-from repro.tools.detlint.engine import Finding, RULES, rule_codes, run_paths
+from repro.tools.detflow.runner import DETFLOW_RULES, run_paths
+from repro.tools.detlint.engine import Finding
 from repro.tools.sarif import render_sarif
 
 
@@ -21,15 +22,16 @@ def _comma_codes(value: str) -> list[str]:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro.tools.detlint",
+        prog="repro.tools.detflow",
         description=(
-            "Determinism & invariant linter for this repository "
+            "Whole-program nondeterminism taint analysis and "
+            "crash-boundary/fork-safety checking "
             "(see docs/STATIC_ANALYSIS.md)."
         ),
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
-        help="files or directories to lint (default: src)",
+        help="files or directories to analyze (default: src)",
     )
     parser.add_argument(
         "--format", choices=("text", "json", "sarif"), default="text",
@@ -42,6 +44,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ignore", action="append", type=_comma_codes, default=None,
         metavar="CODES", help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--tests-dir", default=None, metavar="DIR",
+        help=(
+            "directory holding the crash tests for boundary-coverage "
+            "checking (default: auto-discover a tests/ dir near the "
+            "scanned paths)"
+        ),
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -76,13 +86,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        # Import for side effect: rule registration.
-        from repro.tools.detlint import rules as _rules  # noqa: F401
-
-        for info in RULES.values():
-            scope = "project" if info.project else "file"
-            print(f"{info.code:<8} [{scope:>7}] {info.summary}")
-        print(f"{'SUP001':<8} [{'file':>7}] unused # detlint: ignore[...] suppression")
+        for code, summary in DETFLOW_RULES.items():
+            print(f"{code:<8} {summary}")
         return 0
 
     try:
@@ -90,26 +95,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.paths,
             select=_flatten(args.select),
             ignore=_flatten(args.ignore),
+            tests_dir=args.tests_dir,
         )
     except ValueError as exc:
-        print(f"detlint: error: {exc}", file=sys.stderr)
+        print(f"detflow: error: {exc}", file=sys.stderr)
         return 2
 
     if args.format == "json":
         print(_render_json(findings))
     elif args.format == "sarif":
-        # Import for side effect: rule registration (fills the registry
-        # even when run_paths saw no files).
-        from repro.tools.detlint import rules as _rules  # noqa: F401
-
-        summaries = {info.code: info.summary for info in RULES.values()}
-        summaries["SUP001"] = "unused # detlint: ignore[...] suppression"
-        summaries["SYN001"] = "file failed to parse"
-        print(render_sarif("detlint", findings, summaries))
+        print(render_sarif("detflow", findings, DETFLOW_RULES))
     elif findings:
         print(_render_text(findings))
     else:
-        print("detlint: clean")
+        print("detflow: clean")
     return 1 if findings else 0
 
 

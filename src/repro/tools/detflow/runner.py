@@ -1,0 +1,127 @@
+"""Drive a detflow scan: parse, build the graph, run every analysis,
+apply suppressions, and return sorted findings.
+
+detflow shares detlint's conventions exactly — same :class:`Finding`
+shape, same exit codes (0 clean / 1 findings / 2 usage error), same
+suppression grammar with the tool's own tag (``# detflow:
+ignore[DF103]``, ``# detflow-module: x.y.z``), same SUP001
+unused-suppression audit and SYN001 parse findings — so the two tools
+compose in CI without special-casing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.tools.detflow import checks, taint
+from repro.tools.detflow.graph import IMPORT_STAR_CODE, ProjectGraph
+from repro.tools.detlint.engine import (
+    PARSE_ERROR_CODE,
+    UNUSED_SUPPRESSION_CODE,
+    FileContext,
+    Finding,
+    iter_python_files,
+    load_context,
+)
+
+TAG = "detflow"
+
+#: Every detflow rule code with its one-line summary (doc order).
+DETFLOW_RULES: dict[str, str] = {
+    IMPORT_STAR_CODE: "star imports defeat whole-program name resolution",
+    "DF101": "wall-clock time reaches a byte-identity sink",
+    "DF102": "os.environ/pid reaches a byte-identity sink",
+    "DF103": "unsorted directory listing reaches a byte-identity sink",
+    "DF104": "set/dict-ordering iteration reaches a byte-identity sink",
+    "DF105": "global RNG state reaches a byte-identity sink",
+    "DF106": "float reduction over an unordered collection reaches a sink",
+    checks.BOUNDARY_UNCOVERED_CODE: "crash boundary not referenced by any crash test",
+    checks.BOUNDARY_INFRA_CODE: "crash-boundary coverage could not be verified (fails closed)",
+    checks.FORK_CAPTURE_CODE: "live state captured across a fork boundary",
+    UNUSED_SUPPRESSION_CODE: "(audit) a detflow: ignore that suppressed nothing",
+    PARSE_ERROR_CODE: "(infrastructure) file failed to parse",
+}
+
+
+def rule_codes() -> list[str]:
+    return list(DETFLOW_RULES)
+
+
+def active_codes(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> set[str]:
+    codes = set(rule_codes())
+    if select:
+        wanted = set(select)
+        unknown = wanted - codes
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        codes = wanted
+    if ignore:
+        unknown = set(ignore) - set(rule_codes())
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        codes -= set(ignore)
+    return codes
+
+
+def run_paths(
+    paths: Iterable[str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    tests_dir: str | None = None,
+) -> list[Finding]:
+    """Analyze every Python file under ``paths``; return sorted findings."""
+    codes = active_codes(select, ignore)
+    path_list = list(paths)
+    contexts: list[FileContext] = []
+    raw: list[Finding] = []
+    for path in iter_python_files(path_list):
+        loaded = load_context(path, tag=TAG)
+        if isinstance(loaded, Finding):
+            raw.append(loaded)
+            continue
+        contexts.append(loaded)
+
+    graph = ProjectGraph.build(contexts)
+    raw.extend(graph.findings)
+    raw.extend(taint.analyze(graph))
+    if tests_dir is None:
+        tests_dir = checks.find_tests_dir(path_list)
+    raw.extend(checks.check_boundary_coverage(contexts, tests_dir))
+    raw.extend(checks.check_fork_safety(contexts, graph))
+    raw.extend(checks.check_fork_thread_mix(contexts, graph))
+
+    raw = [f for f in raw if f.code in codes]
+
+    findings: list[Finding] = []
+    used: dict[tuple[str, int], set[str]] = {}
+    by_path = {ctx.path: ctx for ctx in contexts}
+    for finding in raw:
+        ctx = by_path.get(finding.path)
+        suppressed = ctx is not None and finding.code in ctx.suppressions.get(
+            finding.line, set()
+        )
+        if suppressed:
+            used.setdefault((finding.path, finding.line), set()).add(finding.code)
+        else:
+            findings.append(finding)
+
+    if UNUSED_SUPPRESSION_CODE in codes:
+        for ctx in contexts:
+            for lineno, supp_codes in ctx.suppressions.items():
+                for code in sorted(supp_codes):
+                    if code not in codes or code == UNUSED_SUPPRESSION_CODE:
+                        continue
+                    if code not in used.get((ctx.path, lineno), set()):
+                        findings.append(Finding(
+                            path=ctx.path,
+                            line=lineno,
+                            col=1,
+                            code=UNUSED_SUPPRESSION_CODE,
+                            message=(
+                                f"unused suppression: no {code} finding on "
+                                "this line — remove the ignore"
+                            ),
+                        ))
+    return sorted(findings)

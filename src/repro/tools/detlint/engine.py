@@ -45,8 +45,19 @@ UNUSED_SUPPRESSION_CODE = "SUP001"
 #: Code attached to files that fail to parse.
 PARSE_ERROR_CODE = "SYN001"
 
-_SUPPRESSION_RE = re.compile(r"#\s*detlint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
-_MODULE_OVERRIDE_RE = re.compile(r"^#\s*detlint-module:\s*([A-Za-z0-9_.]+)\s*$")
+#: Suppression/module-override comments are tagged with the tool name
+#: (``detlint`` here, ``detflow`` for the whole-program analyzer), so a
+#: suppression aimed at one tool never silences the other.
+def _suppression_re(tag: str) -> re.Pattern[str]:
+    return re.compile(rf"#\s*{tag}:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+def _module_override_re(tag: str) -> re.Pattern[str]:
+    return re.compile(rf"^#\s*{tag}-module:\s*([A-Za-z0-9_.]+)\s*$")
+
+
+_SUPPRESSION_RE = _suppression_re("detlint")
+_MODULE_OVERRIDE_RE = _module_override_re("detlint")
 
 
 @dataclass(frozen=True, order=True)
@@ -153,15 +164,18 @@ def rule_codes() -> list[str]:
 # -- module discovery ----------------------------------------------------
 
 
-def module_name_for(path: str, first_line: str = "") -> str:
+def module_name_for(path: str, first_line: str = "", tag: str = "detlint") -> str:
     """Dotted module name for a file path.
 
-    A ``# detlint-module: x.y.z`` header comment wins (fixtures);
+    A ``# <tag>-module: x.y.z`` header comment wins (fixtures);
     otherwise the name is the path from the last ``repro`` directory
     down (how the repo lays out ``src/repro/...``); otherwise the bare
     stem.
     """
-    match = _MODULE_OVERRIDE_RE.match(first_line.strip())
+    override_re = (
+        _MODULE_OVERRIDE_RE if tag == "detlint" else _module_override_re(tag)
+    )
+    match = override_re.match(first_line.strip())
     if match:
         return match.group(1)
     parts = list(os.path.normpath(path).split(os.sep))
@@ -176,11 +190,14 @@ def module_name_for(path: str, first_line: str = "") -> str:
     return ".".join(parts)
 
 
-def parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
-    """``{line_number: {codes}}`` for every ``detlint: ignore`` comment."""
+def parse_suppressions(lines: list[str], tag: str = "detlint") -> dict[int, set[str]]:
+    """``{line_number: {codes}}`` for every ``<tag>: ignore`` comment."""
+    suppression_re = (
+        _SUPPRESSION_RE if tag == "detlint" else _suppression_re(tag)
+    )
     out: dict[int, set[str]] = {}
     for lineno, line in enumerate(lines, start=1):
-        match = _SUPPRESSION_RE.search(line)
+        match = suppression_re.search(line)
         if match:
             codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
             if codes:
@@ -213,7 +230,7 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
                         yield full
 
 
-def load_context(path: str) -> FileContext | Finding:
+def load_context(path: str, tag: str = "detlint") -> FileContext | Finding:
     """Parse one file into a :class:`FileContext` (or a parse Finding)."""
     try:
         with open(path, encoding="utf-8") as handle:
@@ -229,10 +246,10 @@ def load_context(path: str) -> FileContext | Finding:
     lines = text.splitlines()
     return FileContext(
         path=path,
-        module=module_name_for(path, lines[0] if lines else ""),
+        module=module_name_for(path, lines[0] if lines else "", tag),
         tree=tree,
         lines=lines,
-        suppressions=parse_suppressions(lines),
+        suppressions=parse_suppressions(lines, tag),
     )
 
 

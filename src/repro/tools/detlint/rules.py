@@ -544,6 +544,91 @@ def det007(ctx: FileContext) -> Iterable[Finding]:
     return findings
 
 
+# -- DET008: unsorted directory listings feeding ordered output ----------
+
+#: ``os.``-level listing calls whose result order is filesystem-defined.
+LISTING_CALLS = frozenset({
+    ("os", "listdir"),
+    ("os", "scandir"),
+    ("glob", "glob"),
+    ("glob", "iglob"),
+})
+
+#: ``pathlib.Path`` methods with the same property (checked by attribute
+#: name on any receiver — a false positive requires an unrelated object
+#: with an ``iterdir()``/``rglob()`` method being looped and written).
+LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+def _is_listing_call(node: ast.expr, aliases: dict[str, str]) -> bool:
+    """Is this expression an unsorted directory-listing call?"""
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = _dotted(node.func)
+    if dotted is None or "." not in dotted:
+        return False
+    prefix, _, leaf = dotted.rpartition(".")
+    prefix = aliases.get(prefix, prefix)
+    return (prefix, leaf) in LISTING_CALLS or leaf in LISTING_METHODS
+
+
+def _writes_ordered_output(bodies: list[ast.AST]) -> ast.AST | None:
+    """First statement in a loop body that emits in iteration order:
+    ``.append``/``.write``/``.add``/``.put`` calls or ``yield`` — each
+    preserves the (unsorted) listing order.  Aggregations (counts,
+    max/min, membership) never observe the order and stay clean."""
+    for body in bodies:
+        for node in _walk(body):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return node
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("append", "write", "writelines", "add", "put")
+            ):
+                return node
+    return None
+
+
+@rule("DET008", "no unsorted directory listings feeding ordered output")
+def det008(ctx: FileContext) -> Iterable[Finding]:
+    aliases: dict[str, str] = {}
+    for node in _walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+    msg = (
+        "os.listdir/scandir, glob, and Path.iterdir return entries in "
+        "filesystem order, which differs across machines and filesystems; "
+        "wrap the listing in sorted(...) before its order can reach "
+        "ordered output"
+    )
+
+    findings: list[Finding] = []
+    for node in _walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_listing_call(
+            node.iter, aliases
+        ):
+            hit = _writes_ordered_output(list(node.body))
+            if hit is not None:
+                findings.append(ctx.finding(node.iter, "DET008", msg))
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            # A comprehension over a listing *is* ordered output.
+            for gen in node.generators:
+                if _is_listing_call(gen.iter, aliases):
+                    findings.append(ctx.finding(gen.iter, "DET008", msg))
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ORDERED_CONSUMERS
+                and node.args
+                and _is_listing_call(node.args[0], aliases)
+            ):
+                findings.append(ctx.finding(node.args[0], "DET008", msg))
+    return findings
+
+
 # -- INV101: metric series names + manifest exclusion consistency --------
 
 #: The documented series-name shape: ``subsystem.metric`` (lowercase,

@@ -1,0 +1,2 @@
+# Fixture crash "test" (fault-injection side): present so the coverage
+# checker does not fail closed on a missing file; adds no references.

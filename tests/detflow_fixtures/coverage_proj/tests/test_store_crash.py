@@ -1,0 +1,12 @@
+# Fixture crash "test": references two of the three declared
+# boundaries.  Not collected by pytest (no test_ functions at module
+# scope that assert anything real) — it exists so the coverage checker
+# has reference strings to find.
+
+REFERENCED = [
+    "fixture.step.write",
+]
+
+
+def _kill_at(step):
+    return f"fixture.{step}.sync"

@@ -1,0 +1,10 @@
+# Fixture (interprocedural): sinks a value produced two calls away in
+# flow_helper.py.
+from flow_helper import wrap_timing
+
+from repro.store.shard import canonical_json
+
+
+def persist():
+    record = wrap_timing()
+    return canonical_json(record)  # DF101 via flow_helper.now_seconds

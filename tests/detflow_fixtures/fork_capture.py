@@ -1,0 +1,51 @@
+# Fixture: DF301 — live state crossing fork boundaries, four ways,
+# plus the sanctioned pattern (plain paths/ids, reconstruct in child).
+import multiprocessing
+import threading
+
+from repro.store.shard import ShardWriter
+
+
+def child(writer):
+    writer.append({"from": "child"})
+
+
+class Service:
+    def __init__(self, root):
+        self.root = root
+
+    def _run(self):
+        pass
+
+    def spawn_bound(self):
+        ctx = multiprocessing.get_context("fork")
+        process = ctx.Process(target=self._run)  # DF301: bound method
+        process.start()
+
+
+def fork_with_writer(root):
+    writer = ShardWriter(root + "/out.jsonl", "fp", 0)
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(target=child, args=(writer,))  # DF301: live writer
+    process.start()
+
+
+def fork_with_handle(root):
+    handle = open(root + "/log.txt", "a")
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(target=child, args=(handle,))  # DF301: open fd
+    process.start()
+
+
+def fork_after_thread(worker, beat):
+    thread = threading.Thread(target=beat, daemon=True)
+    thread.start()
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(target=worker, args=("job-1",))  # DF301: thread+fork
+    process.start()
+
+
+def fork_clean(root, job_id):
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(target=child, args=(root, job_id))  # clean
+    process.start()

@@ -1,0 +1,6 @@
+# Fixture: DF001 — star imports are rejected, not guessed at.
+from os.path import *  # DF001
+
+
+def join_things(a, b):
+    return join(a, b)

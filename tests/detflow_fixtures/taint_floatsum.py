@@ -1,0 +1,16 @@
+# Fixture: DF106 — float reductions over unordered collections
+# reaching canonical JSON; sorting the operands first is the fix
+# (float addition is not associative, so order changes the bytes).
+from repro.store.shard import canonical_json
+
+
+def total_unordered(samples):
+    pending = set(samples)
+    total = sum(pending)
+    return canonical_json({"total": total})  # DF106
+
+
+def total_sorted(samples):
+    pending = set(samples)
+    total = sum(sorted(pending))
+    return canonical_json({"total": total})  # clean

@@ -1,0 +1,23 @@
+# Fixture: DF103 — unsorted directory listings reaching shard bytes,
+# and the sorted() sanitizer clearing the taint.
+import os
+
+from repro.store.shard import ShardWriter
+
+
+def write_listing_unsorted(root):
+    writer = ShardWriter(root + "/out.jsonl", "fp", 0)
+    for name in os.listdir(root):
+        writer.append({"file": name})  # DF103: listing order -> shard
+
+
+def write_listing_sorted(root):
+    writer = ShardWriter(root + "/out.jsonl", "fp", 0)
+    for name in sorted(os.listdir(root)):
+        writer.append({"file": name})  # clean: sorted() sanitizes
+
+
+def write_iterdir_unsorted(path):
+    writer = ShardWriter(str(path / "out.jsonl"), "fp", 0)
+    for entry in path.iterdir():
+        writer.append({"file": str(entry)})  # DF103: iterdir order

@@ -1,0 +1,18 @@
+# Fixture: DF105 — global RNG reaching fingerprint input; the
+# repro.rng substream draw is the sanctioned (clean) path.
+import random
+
+
+def fingerprint(spec):
+    return repr(spec)
+
+
+def global_rng_identity():
+    jitter = random.random()
+    return fingerprint({"jitter": jitter})  # DF105: global RNG
+
+
+def substream_identity(streams):
+    rng = streams.get("campaign.jitter")
+    jitter = rng.uniform(0.0, 1.0)
+    return fingerprint({"jitter": jitter})  # clean: named substream

@@ -1,0 +1,24 @@
+# Fixture: DF104 — set-ordering iteration reaching journal payloads,
+# and the sorted() sanitizer.
+from repro.serve.journal import JobJournal
+
+
+def journal_set_order(root, names):
+    journal = JobJournal(root)
+    pending = set(names)
+    for name in pending:
+        journal.append({"event": "seen", "name": name})  # DF104
+
+
+def journal_sorted_order(root, names):
+    journal = JobJournal(root)
+    pending = set(names)
+    for name in sorted(pending):
+        journal.append({"event": "seen", "name": name})  # clean
+
+
+def list_of_set(values):
+    from repro.store.shard import canonical_json
+
+    ordered = list({v for v in values})
+    return canonical_json(ordered)  # DF104: list(set) -> canonical JSON

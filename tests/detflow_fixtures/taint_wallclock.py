@@ -1,0 +1,29 @@
+# Fixture: DF101 — wall-clock time reaching byte-identity sinks,
+# plus the sanctioned alternative (a manifest-excluded metric).
+import time
+
+from repro.store.shard import canonical_json
+
+
+def stamp_into_artifact():
+    started = time.time()
+    payload = {"elapsed": started}
+    return canonical_json(payload)  # DF101: wallclock -> canonical JSON
+
+
+def stamp_into_excluded_metric(obs):
+    elapsed = time.perf_counter()
+    # campaign.drive_seconds is in WALL_CLOCK_METRICS: deterministic_dict
+    # strips it, so the wall-clock value never reaches manifest bytes.
+    obs.histogram("campaign.drive_seconds").observe(elapsed)
+
+
+def stamp_into_included_metric(obs):
+    elapsed = time.perf_counter()
+    obs.gauge("campaign.tests_total").set(elapsed)  # DF101: not excluded
+
+
+def field_sensitive_payload():
+    result = {"payload": {"tests": 7}, "elapsed_s": time.perf_counter()}
+    # Only the clean field reaches the sink: no finding.
+    return canonical_json(result["payload"])

@@ -1,0 +1,46 @@
+# detlint-module: repro.core.fake_listing
+# Fixture for DET008: unsorted directory listings feeding ordered
+# output, and the sorted() / non-ordered uses that must stay clean.
+import glob
+import os
+
+
+def emit_unsorted(root, out):
+    for name in os.listdir(root):  # DET008 (line 9)
+        out.append(name)
+
+
+def emit_glob(pattern, handle):
+    for path in glob.glob(pattern):  # DET008 (line 14)
+        handle.write(path + "\n")
+
+
+def emit_iterdir(root):
+    for entry in root.iterdir():  # DET008 (line 19)
+        yield entry
+
+
+def comprehension_order(root):
+    return [name for name in os.listdir(root)]  # DET008 (line 24)
+
+
+def listing_as_list(root):
+    return list(os.listdir(root))  # DET008 (line 28)
+
+
+def emit_sorted(root, out):
+    for name in sorted(os.listdir(root)):  # clean: sorted
+        out.append(name)
+
+
+def emptiness_check(root):
+    if not os.listdir(root):  # clean: order never observed
+        return True
+    return False
+
+
+def count_entries(root):
+    total = 0
+    for _name in os.listdir(root):  # clean: nothing ordered emitted
+        total += 1
+    return total

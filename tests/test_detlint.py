@@ -42,6 +42,16 @@ def codes_and_lines(findings: list[Finding]) -> set[tuple[str, int]]:
         ("det005_mutation.py", {("DET005", 6)}),
         ("det006_barewrite.py", {("DET006", 8), ("DET006", 12)}),
         ("det007_persample.py", {("DET007", 8), ("DET007", 9)}),
+        (
+            "det008_listing.py",
+            {
+                ("DET008", 9),
+                ("DET008", 14),
+                ("DET008", 19),
+                ("DET008", 24),
+                ("DET008", 28),
+            },
+        ),
         ("inv101_name.py", {("INV101", 6)}),
         ("inv102_serve_metric.py", {("INV102", 8)}),
     ],

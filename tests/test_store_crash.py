@@ -147,7 +147,16 @@ def test_sharded_store_survives_sigkill_at_every_boundary(tmp_path):
     # The clean run crosses all four protocol steps for every artifact.
     for artifact in ("shard", "manifest", "dataset", "run_manifest"):
         assert any(label.startswith(artifact + ".") for label in labels), labels
-    assert "shard.wal.append" in labels
+    # Every WAL-protocol commit point must appear in the enumeration —
+    # a missing label here means a crash point nobody kills at
+    # (detflow's DF201 boundary-coverage check keys off these names).
+    for wal_label in (
+        "shard.wal.append",
+        "shard.wal.fsync",
+        "shard.rename",
+        "shard.dirsync",
+    ):
+        assert wal_label in labels, f"boundary {wal_label} never crossed"
 
     clean_dataset = _read(tmp_path / "clean-dataset.json")
     clean_store = _store_bytes(tmp_path / "clean-ck")
